@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures on the
+simulated testbed, prints the rows/series the paper reports (run pytest
+with ``-s`` to see them), and asserts the paper's qualitative claim so
+a regression in the reproduction fails loudly.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print benchmark output so it survives pytest's capture with -s."""
+    sys.stdout.write(f"\n{text}\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""§A.2: a long LoRA run — sustained benefit over time.
+
+Paper: Mistral with the 320 MB adapter at 2 req/s for one hour; AQUA
+improves p50 RCT by 2x and p95 by 1.7x.  This reproduction runs a
+scaled 10-minute (simulated) slice with the same arrival process.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments.harness import DEFAULT_LORA_CACHE_BYTES, build_consumer_rig, drain
+from repro.experiments.report import format_table
+from repro.models import SD_15, synthesize_adapters
+from repro.serving.metrics import percentile
+from repro.workloads import lora_requests
+from repro.workloads.arrivals import submit_all
+
+
+def _run(use_aqua: bool, count: int) -> list[float]:
+    rig = build_consumer_rig(
+        "vllm",
+        "Mistral-7B",
+        producer_model=SD_15 if use_aqua else None,
+        use_aqua=use_aqua,
+        lora_capacity_bytes=DEFAULT_LORA_CACHE_BYTES,
+    ).start()
+    adapters = synthesize_adapters(30, 320 * 10**6)
+    if use_aqua:
+        rig.warm_up(1.0)
+        for adapter in adapters:
+            rig.lora_cache.register(adapter)
+    requests = lora_requests(adapters, rate=2.0, count=count, seed=7, start=1.0)
+    submit_all(rig.env, rig.consumer_engine, requests)
+    drain(rig.env, requests, timeout=3600, step=5.0)
+    return sorted(r.rct for r in requests if r.rct is not None)
+
+
+def test_a2_long_lora_run(benchmark):
+    count = 1200  # 10 simulated minutes at 2 req/s
+    result = run_once(
+        benchmark, lambda: {"baseline": _run(False, count), "aqua": _run(True, count)}
+    )
+    base, aqua = result["baseline"], result["aqua"]
+    rows = [
+        ["baseline", len(base), percentile(base, 50), percentile(base, 95)],
+        ["aqua", len(aqua), percentile(aqua, 50), percentile(aqua, 95)],
+    ]
+    emit(
+        format_table(
+            ["system", "completed", "rct_p50_s", "rct_p95_s"],
+            rows,
+            title="§A.2 sustained LoRA load (paper: p50 2x, p95 1.7x)",
+        )
+    )
+    assert len(base) == count and len(aqua) == count
+    p50_gain = percentile(base, 50) / percentile(aqua, 50)
+    p95_gain = percentile(base, 95) / percentile(aqua, 95)
+    # Shape check: sustained improvement at both percentiles.  The
+    # paper reports 2x / 1.7x; this simulation's baseline loader is
+    # more charitable than vLLM's real adapter path (no Python-side
+    # deserialization stalls), so the margin is smaller — recorded in
+    # EXPERIMENTS.md.
+    assert p50_gain > 1.1
+    assert p95_gain > 1.1

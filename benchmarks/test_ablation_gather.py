@@ -1,0 +1,59 @@
+"""Ablation: AQUA's gather/scatter batching of scattered KV tensors.
+
+Design choice (§5): vLLM scatters a prompt's KV across per-layer block
+tensors, so a naive offload issues thousands of small NVLink copies —
+and NVLink bandwidth collapses for small transfers (Figure 3a).  AQUA's
+custom gather kernel coalesces them into one large staged copy.  This
+ablation measures CFS context-switch time with the gather enabled vs
+disabled, all else equal.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments.harness import build_consumer_rig
+from repro.experiments.report import format_table
+from repro.models import KANDINSKY
+from repro.workloads import code_summary_requests
+from repro.workloads.arrivals import submit_all
+
+
+def _run(gather: bool) -> dict:
+    rig = build_consumer_rig(
+        "cfs",
+        "CodeLlama-34B",
+        producer_model=KANDINSKY,
+        use_aqua=True,
+        consumer_kwargs={"slice_tokens": 5},
+    )
+    rig.consumer_lib.gather_enabled = gather
+    rig.start().warm_up(1.0)
+    requests = code_summary_requests(rate=5.0, count=40, seed=0, start=1.0)
+    submit_all(rig.env, rig.consumer_engine, requests)
+    rig.env.run(until=600)
+    engine = rig.consumer_engine
+    return {
+        "switch_time": engine.context_switch_time,
+        "slices": engine.slices_run,
+        "completed": len(engine.metrics.completed),
+    }
+
+
+def test_ablation_gather_scatter(benchmark):
+    result = run_once(
+        benchmark, lambda: {"gathered": _run(True), "naive": _run(False)}
+    )
+    rows = [
+        [label, d["switch_time"], d["slices"], d["completed"]]
+        for label, d in result.items()
+    ]
+    emit(
+        format_table(
+            ["variant", "context_switch_s", "slices", "completed"],
+            rows,
+            title="Ablation: gather kernels vs naive per-block copies",
+        )
+    )
+    gathered = result["gathered"]
+    naive = result["naive"]
+    # Without the gather kernels, context switching over NVLink loses
+    # most of its advantage: switch time blows up by several x.
+    assert naive["switch_time"] > 3 * gathered["switch_time"]

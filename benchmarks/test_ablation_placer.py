@@ -1,0 +1,81 @@
+"""Ablation: the exact MILP placer vs the greedy heuristic.
+
+Design choice (§4): AQUA-PLACER solves an exact optimization so that
+memory supply/demand balances per server and every consumer gets a
+dedicated producer.  The greedy baseline pairs extremes first; this
+ablation compares solution quality (objective, matched consumers) and
+solve time across random instances.
+"""
+
+import numpy as np
+
+from benchmarks._util import emit, run_once
+from repro.aqua import AquaPlacer, ModelInstance
+from repro.experiments.report import format_table
+from repro.hardware.specs import GiB
+
+
+def _instances(n_gpus: int, seed: int) -> list[ModelInstance]:
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n_gpus):
+        if i % 2 == 0:
+            out.append(
+                ModelInstance(f"p{i}", "producer", int(rng.integers(15, 55)) * GiB)
+            )
+        else:
+            out.append(
+                ModelInstance(f"c{i}", "consumer", -int(rng.integers(10, 45)) * GiB)
+            )
+    return out
+
+
+def test_ablation_placer_solvers(benchmark):
+    def run():
+        rows = []
+        for n_gpus, seed in ((16, 0), (32, 1), (48, 2)):
+            instances = _instances(n_gpus, seed)
+            milp = AquaPlacer(n_servers=n_gpus // 2, gpus_per_server=2).place(instances)
+            greedy = AquaPlacer(
+                n_servers=n_gpus // 2, gpus_per_server=2, solver="greedy"
+            ).place(instances)
+            rows.append(
+                {
+                    "gpus": n_gpus,
+                    "milp_obj": milp.objective,
+                    "greedy_obj": greedy.objective,
+                    "milp_pairs": len(milp.pairs),
+                    "greedy_pairs": len(greedy.pairs),
+                    "milp_s": milp.solve_seconds,
+                    "greedy_s": greedy.solve_seconds,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    emit(
+        format_table(
+            ["gpus", "milp_obj", "greedy_obj", "milp_pairs", "greedy_pairs", "milp_s", "greedy_s"],
+            [
+                [
+                    r["gpus"],
+                    r["milp_obj"],
+                    r["greedy_obj"],
+                    r["milp_pairs"],
+                    r["greedy_pairs"],
+                    r["milp_s"],
+                    r["greedy_s"],
+                ]
+                for r in rows
+            ],
+            title="Ablation: exact MILP vs greedy placement",
+        )
+    )
+    for r in rows:
+        # The exact solver never produces a worse objective...
+        assert r["milp_obj"] <= r["greedy_obj"] + 1e-6
+        # ...and both match every consumer on these balanced instances.
+        assert r["milp_pairs"] == r["gpus"] // 2
+        assert r["greedy_pairs"] == r["gpus"] // 2
+        # The heuristic is (much) faster, which is its only virtue here.
+        assert r["greedy_s"] < r["milp_s"] * 2

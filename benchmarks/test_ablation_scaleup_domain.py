@@ -1,0 +1,56 @@
+"""Ablation: why AQUA offloads only within the scale-up domain.
+
+AQUA deliberately restricts offloading to GPUs on the *same* server's
+NVLink network.  This ablation quantifies the alternative: offloading a
+long-prompt context to a GPU on a *different* server over a 200 Gb/s
+RDMA fabric.  Cross-server bandwidth is PCIe-class, so the remote-GPU
+path lands at DRAM-offload speed — an order of magnitude behind the
+intra-server NVLink path the paper builds on.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments.report import format_table
+from repro.hardware import Cluster
+from repro.hardware.cluster import RDMA_200G
+from repro.models import OPT_30B
+from repro.sim import Environment
+
+
+def _context_read_time(duration_label: str) -> dict:
+    """Time to stream an 8000-token OPT-30B context over each path."""
+    env = Environment()
+    cluster = Cluster(env, n_servers=2, gpus_per_server=2, rdma_link=RDMA_200G)
+    server = cluster.servers[0]
+    local_gpu = server.gpus[0]
+    neighbour_gpu = server.gpus[1]
+    remote_gpu = cluster.servers[1].gpus[0]
+    nbytes = OPT_30B.kv_bytes(8000)
+
+    return {
+        "nvlink (same server)": server.transfer_time(neighbour_gpu, local_gpu, nbytes),
+        "host DRAM (PCIe)": server.transfer_time(server.dram, local_gpu, nbytes),
+        "remote GPU (RDMA)": server.transfer_time(remote_gpu, local_gpu, nbytes),
+    }
+
+
+def test_ablation_scaleup_domain(benchmark):
+    times = run_once(benchmark, lambda: _context_read_time("8000-token context"))
+    emit(
+        format_table(
+            ["offload target", "context read (s)", "vs NVLink"],
+            [
+                [label, t, t / times["nvlink (same server)"]]
+                for label, t in times.items()
+            ],
+            title="Reading an 11 GB OPT-30B context from each offload target",
+        )
+    )
+    nvlink = times["nvlink (same server)"]
+    dram = times["host DRAM (PCIe)"]
+    rdma = times["remote GPU (RDMA)"]
+    # NVLink is an order of magnitude ahead of both alternatives...
+    assert dram / nvlink > 5
+    assert rdma / nvlink > 5
+    # ...and the remote-GPU path is no better than local DRAM (it still
+    # funnels through PCIe plus the NIC), which is the design argument.
+    assert rdma >= 0.95 * dram

@@ -1,0 +1,50 @@
+"""Ablation: CFS slice length (tokens generated per time slice).
+
+Design choice (§5): the slice length trades responsiveness against
+context-switching overhead.  Short slices switch constantly (great
+TTFT, poor RCT); long slices amortize switches but converge back to
+batch-like unfairness.  The paper uses 5 tokens per slice (Figure 6).
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments.harness import build_consumer_rig, drain
+from repro.experiments.report import format_table, summarize_requests
+from repro.models import KANDINSKY
+from repro.workloads import code_summary_requests
+from repro.workloads.arrivals import submit_all
+
+
+def _run(slice_tokens: int) -> dict:
+    rig = build_consumer_rig(
+        "cfs",
+        "CodeLlama-34B",
+        producer_model=KANDINSKY,
+        use_aqua=True,
+        consumer_kwargs={"slice_tokens": slice_tokens},
+    ).start()
+    rig.warm_up(1.0)
+    requests = code_summary_requests(rate=5.0, count=40, seed=0, start=1.0)
+    submit_all(rig.env, rig.consumer_engine, requests)
+    drain(rig.env, requests, timeout=900)
+    s = summarize_requests(requests, f"slice={slice_tokens}")
+    s["switch_time"] = rig.consumer_engine.context_switch_time
+    return s
+
+
+def test_ablation_slice_length(benchmark):
+    slices = (1, 5, 20, 80)
+    results = run_once(benchmark, lambda: {k: _run(k) for k in slices})
+    emit(
+        format_table(
+            ["slice_tokens", "ttft_p95_s", "rct_mean_s", "switch_time_s"],
+            [
+                [k, s["ttft_p95"], s["rct_mean"], s["switch_time"]]
+                for k, s in results.items()
+            ],
+            title="Ablation: CFS slice length (paper uses 5)",
+        )
+    )
+    # Short slices switch far more.
+    assert results[1]["switch_time"] > results[20]["switch_time"]
+    # Very long slices degrade responsiveness towards batching.
+    assert results[80]["ttft_p95"] > results[5]["ttft_p95"]

@@ -1,0 +1,67 @@
+"""Extension: offloading-mechanism shoot-out on the long-prompt workload.
+
+Compares every offload mechanism discussed by the paper (§9) on the
+same OPT-30B 8000-token job: DeepSpeed-style synchronous offload, UVM
+page-fault migration, FlexGen's overlapped streaming — each to DRAM and
+to a producer GPU — and AQUA proper.  The ordering the paper implies:
+
+    UVM/PCIe < DeepSpeed/PCIe < FlexGen/PCIe << UVM/NVLink < AQUA
+"""
+
+from benchmarks._util import emit, run_once
+from repro.aqua import AquaLib, BatchInformer, Coordinator
+from repro.experiments.report import format_table
+from repro.hardware import Server
+from repro.models import OPT_30B, SD_15
+from repro.serving import BatchEngine, DeepSpeedEngine, FlexGenEngine, UVMEngine
+from repro.sim import Environment
+from repro.workloads import long_prompt_requests
+from repro.workloads.arrivals import submit_all
+
+DURATION = 60.0
+
+
+def _tokens(cls, paired: bool) -> int:
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    coord = Coordinator()
+    lib = AquaLib(server.gpus[0], server, coord)
+    engine = cls(server.gpus[0], server, OPT_30B, aqua_lib=lib, workspace_tokens=8000)
+    if paired:
+        producer_lib = AquaLib(server.gpus[1], server, coord, informer=BatchInformer())
+        producer = BatchEngine(server.gpus[1], server, SD_15, aqua_lib=producer_lib)
+        producer.start()
+        coord.pair(lib.name, producer_lib.name)
+    engine.start()
+    env.run(until=1.0)
+    submit_all(env, engine, long_prompt_requests(start=1.0))
+    env.run(until=1.0 + DURATION)
+    return engine.metrics.tokens_generated
+
+
+def test_offload_mechanism_comparison(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: {
+            "uvm/pcie": _tokens(UVMEngine, False),
+            "deepspeed/pcie": _tokens(DeepSpeedEngine, False),
+            "flexgen/pcie": _tokens(FlexGenEngine, False),
+            "uvm/nvlink": _tokens(UVMEngine, True),
+            "deepspeed+aqua": _tokens(DeepSpeedEngine, True),
+            "aqua (flexgen+aqua)": _tokens(FlexGenEngine, True),
+        },
+    )
+    base = result["flexgen/pcie"]
+    emit(
+        format_table(
+            ["mechanism", "tokens", "vs flexgen/pcie"],
+            [[k, v, v / base] for k, v in result.items()],
+            title=f"Offload mechanisms, OPT-30B 8000-token prompt, {DURATION:.0f}s",
+        )
+    )
+    # The ordering the paper's arguments imply:
+    assert result["uvm/pcie"] <= result["deepspeed/pcie"] <= result["flexgen/pcie"]
+    assert result["flexgen/pcie"] < result["uvm/nvlink"]
+    assert result["uvm/nvlink"] < result["aqua (flexgen+aqua)"]
+    # And AQUA helps DeepSpeed too (§9).
+    assert result["deepspeed+aqua"] > 3 * result["deepspeed/pcie"]

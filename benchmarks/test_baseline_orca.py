@@ -1,0 +1,69 @@
+"""Extension of §9: Orca-style reservation vs vLLM's paged attention.
+
+Orca batches at iteration granularity but reserves each sequence's KV
+for its maximum length; vLLM pages it.  On the same burst the paged
+engine admits several times more concurrent sequences, which is the
+concurrency AQUA's fair scheduler then time-shares.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments.report import format_table, summarize_requests
+from repro.hardware import Server
+from repro.models import CODELLAMA_34B
+from repro.serving import OrcaEngine, Request, VLLMEngine
+from repro.sim import Environment
+from repro.workloads.arrivals import submit_all
+
+
+def _run(cls) -> dict:
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    engine = cls(server.gpus[0], server, CODELLAMA_34B)
+    engine.start()
+    requests = [
+        Request(arrival_time=0.2 * i, prompt_tokens=700, max_new_tokens=2000)
+        for i in range(30)
+    ]
+    submit_all(env, engine, requests)
+    peak = [0]
+
+    def watch(env):
+        while True:
+            peak[0] = max(peak[0], len(engine.running))
+            yield env.timeout(0.25)
+
+    env.process(watch(env))
+    env.run(until=1500)
+    summary = summarize_requests(requests, cls.__name__)
+    summary["peak_concurrency"] = peak[0]
+    summary["finish"] = max(
+        (r.finish_time for r in requests if r.finish_time), default=float("nan")
+    )
+    return summary
+
+
+def test_orca_vs_vllm(benchmark):
+    result = run_once(
+        benchmark, lambda: {"orca": _run(OrcaEngine), "vllm": _run(VLLMEngine)}
+    )
+    rows = [
+        [
+            label,
+            s["peak_concurrency"],
+            s["ttft_p95"],
+            s["rct_mean"],
+            s["finish"],
+        ]
+        for label, s in result.items()
+    ]
+    emit(
+        format_table(
+            ["engine", "peak_batch", "ttft_p95_s", "rct_mean_s", "finish_s"],
+            rows,
+            title="Orca-style max-length reservation vs vLLM paged attention",
+        )
+    )
+    orca, vllm = result["orca"], result["vllm"]
+    assert vllm["peak_concurrency"] > 1.5 * orca["peak_concurrency"]
+    assert vllm["finish"] < orca["finish"]
+    assert vllm["ttft_p95"] < orca["ttft_p95"]

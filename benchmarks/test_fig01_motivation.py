@@ -1,0 +1,37 @@
+"""Figure 1: responsiveness (TTFT) vs throughput (RCT) across schedulers.
+
+Paper: vLLM's batch scheduler starves late prompts (TTFT spikes after
+~20 requests at 5 req/s); CFS fixes TTFT but over DRAM/PCIe costs ~50%
+RCT; AQUA keeps the TTFT win with RCT close to vLLM.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+
+
+def test_fig01_motivation(benchmark):
+    result = run_once(benchmark, lambda: F.fig01_motivation(rate=5.0, count=60))
+    rows = []
+    for label, data in result.items():
+        s = data["summary"]
+        rows.append(
+            [label, s["ttft_mean"], s["ttft_p95"], s["rct_mean"], s["rct_p95"]]
+        )
+    emit(
+        format_table(
+            ["system", "ttft_mean_s", "ttft_p95_s", "rct_mean_s", "rct_p95_s"],
+            rows,
+            title="Figure 1 @ 5 req/s (paper: CFS ~4x TTFT; AQUA RCT ~ vLLM)",
+        )
+    )
+    vllm = result["vllm"]["summary"]
+    cfs = result["cfs-dram"]["summary"]
+    aqua = result["aqua"]["summary"]
+    # Fair scheduling tames the starvation tail...
+    assert cfs["ttft_p95"] < vllm["ttft_p95"]
+    assert aqua["ttft_p95"] < vllm["ttft_p95"]
+    # ...DRAM-paged CFS pays for it in completion time...
+    assert cfs["rct_mean"] > 1.3 * vllm["rct_mean"]
+    # ...and AQUA recovers most of that loss.
+    assert aqua["rct_mean"] < cfs["rct_mean"]

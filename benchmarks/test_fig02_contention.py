@@ -1,0 +1,30 @@
+"""Figure 2: throughput & free memory vs batch size per modality.
+
+Paper: audio (2a) and image (2b) generators plateau in throughput with
+tens of GB of free HBM; the LLM (2c) consumes nearly all memory at its
+peak throughput — the producer/consumer split AQUA exploits.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+
+
+def test_fig02_contention(benchmark):
+    result = run_once(benchmark, F.fig02_contention)
+    for model, rows in result.items():
+        emit(
+            format_table(
+                ["batch", "throughput/s", "free_GiB"],
+                [[r["batch"], r["throughput"], r["free_gib"]] for r in rows],
+                title=f"Figure 2: {model}",
+            )
+        )
+    for name in ("AudioGen", "StableDiffusion-1.5"):
+        rows = result[name]
+        assert rows[-1]["free_gib"] > 20, f"{name} should plateau with free HBM"
+        mid = rows[len(rows) // 2]
+        assert rows[-1]["throughput"] < 1.2 * mid["throughput"]
+    llm = result["Llama-2-13B"]
+    assert llm[-1]["free_gib"] < 10, "the LLM should exhaust HBM at peak"
+    assert llm[-1]["throughput"] > llm[0]["throughput"]

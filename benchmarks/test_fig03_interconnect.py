@@ -1,0 +1,46 @@
+"""Figure 3: interconnect microbenchmarks.
+
+3a: NVLink effective bandwidth is tiny for small buffers and reaches
+~100 GB/s only at 2 MB, saturating near 250 GB/s (A100 pair).
+3b: serving NVLink offloads costs the producer <5% throughput.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+from repro.hardware.specs import GB, MB, NVLINK3_P2P
+
+
+def test_fig03a_bandwidth_vs_size(benchmark):
+    result = run_once(benchmark, F.fig03a_interconnect_bandwidth)
+    emit(
+        format_table(
+            ["size_bytes", "NVLink_GB/s", "PCIe_GB/s"],
+            [
+                [r["size_bytes"], r["nvlink_gbps"], r["pcie_gbps"]]
+                for r in result["rows"]
+            ],
+            title="Figure 3a (paper: ~100 GB/s at 2 MB, 250 GB/s peak)",
+        )
+    )
+    at_2mb = NVLINK3_P2P.effective_bandwidth(2 * MB)
+    assert 80 * GB < at_2mb < 130 * GB
+    assert NVLINK3_P2P.effective_bandwidth(1 * GB) > 0.9 * 250 * GB
+
+
+def test_fig03b_sharing_impact(benchmark):
+    result = run_once(benchmark, lambda: F.fig03b_sharing_impact(duration=120.0))
+    emit(
+        format_table(
+            ["isolated/s", "shared/s", "impact"],
+            [
+                [
+                    result["isolated_throughput"],
+                    result["shared_throughput"],
+                    f"{result['impact_fraction']:.1%}",
+                ]
+            ],
+            title="Figure 3b (paper: <5% producer impact)",
+        )
+    )
+    assert result["impact_fraction"] < 0.08

@@ -1,0 +1,24 @@
+"""Figure 7: long-prompt inference throughput (OPT-30B, 8000 tokens).
+
+Paper: AQUA generates ~6x more tokens than FlexGen-to-DRAM in the same
+duration, whether the producer is StableDiffusion, AudioGen (balanced
+split) or another LLM (LLM-heavy split).
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+
+
+def test_fig07_longprompt(benchmark):
+    result = run_once(benchmark, lambda: F.fig07_longprompt(duration=120.0))
+    emit(
+        format_table(
+            ["system", "tokens", "speedup"],
+            [[k, v["tokens"], v["speedup"]] for k, v in result.items()],
+            title="Figure 7: tokens in 120 s (paper: AQUA ~6x FlexGen)",
+        )
+    )
+    for label in ("aqua+sd", "aqua+audiogen", "aqua+llama"):
+        assert result[label]["speedup"] > 3, f"{label} lost the NVLink advantage"
+    assert result["flexgen-dram"]["tokens"] > 0

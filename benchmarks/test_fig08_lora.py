@@ -1,0 +1,33 @@
+"""Figure 8: serving Mistral-7B with 30 x 320 MB LoRA adapters.
+
+Paper: AQUA improves RCTs by up to 1.8x because adapters load over
+NVLink from the producer GPU instead of pageable host memory over PCIe;
+AQUA-0/AQUA-1 (SD / SD-XL producers) and the LLM-producer variant (8b)
+all behave alike.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+
+
+def test_fig08_lora(benchmark):
+    result = run_once(benchmark, lambda: F.fig08_lora(rate=8.0, count=100))
+    rows = []
+    for label, data in result.items():
+        s = data["summary"]
+        rows.append(
+            [label, s["rct_p50"], s["rct_mean"], s["rct_p95"], str(data["cache"])]
+        )
+    emit(
+        format_table(
+            ["system", "rct_p50_s", "rct_mean_s", "rct_p95_s", "cache"],
+            rows,
+            title="Figure 8 (paper: AQUA up to 1.8x lower RCT)",
+        )
+    )
+    base = result["baseline"]["summary"]["rct_mean"]
+    for label in ("aqua-0", "aqua-1", "aqua-llm"):
+        improvement = base / result[label]["summary"]["rct_mean"]
+        assert improvement > 1.3, f"{label} improvement {improvement:.2f}x too small"
+        assert improvement < 4.0, f"{label} improvement {improvement:.2f}x too large"

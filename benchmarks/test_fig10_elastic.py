@@ -1,0 +1,43 @@
+"""Figure 10: elastic AQUA TENSORS under a dynamic producer workload.
+
+Paper: the idle Llama-2-13B producer donates (retaining ~5 GB), the
+long-prompt consumer runs fast over NVLink; a 5 req/s burst triggers a
+reclaim that dents consumer throughput; after the burst the memory is
+re-donated and throughput recovers — ~6x overall vs DRAM.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+
+
+def test_fig10_elastic(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: F.fig10_elastic(phase1_start=30, phase2_start=90, end=200),
+    )
+    samples = result["free_memory_gib"]
+    step = max(1, len(samples) // 24)
+    emit(
+        format_table(
+            ["t_s", "engine_free_GiB", "consumer_tok/s"],
+            [
+                [f"{t:.0f}", v, result["consumer_tokens_per_s"][i][1]]
+                for i, (t, v) in enumerate(samples)
+            ][::step],
+            title="Figure 10: donation -> reclaim -> re-donation timeline",
+        )
+    )
+    free = [v for _, v in samples]
+    # Donated state is much smaller than the reclaimed state.
+    assert max(free) > 2 * min(free)
+
+    # Consumer throughput: fast before the burst, dented during reclaim,
+    # recovered after.
+    tokens = dict(result["consumer_tokens_per_s"])
+    phases = result["phases"]
+    before = [v for t, v in tokens.items() if phases["phase1"] + 20 < t < phases["phase2"]]
+    during = [v for t, v in tokens.items() if phases["phase2"] + 5 < t < phases["phase2"] + 40]
+    after = [v for t, v in tokens.items() if t > phases["end"] - 20]
+    assert sum(before) / len(before) > 1.5 * sum(during) / len(during)
+    assert sum(after) / len(after) > 1.3 * sum(during) / len(during)

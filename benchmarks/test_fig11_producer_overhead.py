@@ -1,0 +1,38 @@
+"""Figure 11: what donating memory costs the producer.
+
+Paper: sorted producer RCTs with AQUA are very close to the baseline;
+a small overhead appears in the low-traffic phase (NVLink I/O shares
+the GPU), and during the burst AQUA briefly pauses to reclaim.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+from repro.serving.metrics import percentile
+
+
+def test_fig11_producer_overhead(benchmark):
+    result = run_once(benchmark, lambda: F.fig11_producer_overhead(end=160.0))
+    base, aqua = result["baseline"], result["aqua"]
+    rows = []
+    for label, rcts in (("baseline", base), ("aqua-producer", aqua)):
+        rows.append(
+            [
+                label,
+                len(rcts),
+                percentile(rcts, 50),
+                percentile(rcts, 95),
+                max(rcts),
+            ]
+        )
+    emit(
+        format_table(
+            ["system", "completed", "rct_p50_s", "rct_p95_s", "rct_max_s"],
+            rows,
+            title="Figure 11 (paper: donation overhead is small)",
+        )
+    )
+    assert len(aqua) >= 0.95 * len(base)
+    # Median and p95 within modest bounds of the baseline.
+    assert percentile(aqua, 50) < 1.25 * percentile(base, 50)
+    assert percentile(aqua, 95) < 1.4 * percentile(base, 95)

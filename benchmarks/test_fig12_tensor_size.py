@@ -1,0 +1,37 @@
+"""Figure 12: AQUA TENSORS benefit vs offloaded tensor size.
+
+Paper: with 200 adapters, a 10 GB cache and one distinct adapter per
+prompt, the 320 MB adapters gain more from AQUA than the 160 MB ones —
+same compute, double the I/O saved per miss.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+
+
+def test_fig12_tensor_size(benchmark):
+    result = run_once(
+        benchmark, lambda: F.fig12_tensor_size(count=200, rate=10.0)
+    )
+    rows = []
+    for size, data in result.items():
+        rows.append(
+            [
+                size,
+                data["baseline"]["summary"]["rct_mean"],
+                data["aqua"]["summary"]["rct_mean"],
+                data["rct_mean_saved"],
+            ]
+        )
+    emit(
+        format_table(
+            ["adapter", "baseline_rct_s", "aqua_rct_s", "saved_s"],
+            rows,
+            title="Figure 12 (paper: larger I/O benefits more)",
+        )
+    )
+    saved_160 = result["160MB"]["rct_mean_saved"]
+    saved_320 = result["320MB"]["rct_mean_saved"]
+    assert saved_160 > 0
+    assert saved_320 > 1.5 * saved_160

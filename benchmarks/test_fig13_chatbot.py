@@ -1,0 +1,48 @@
+"""Figure 13: long-term responsiveness of a 25-user, 4-turn chatbot.
+
+Paper: the workload has a saw-tooth shape (turns synchronize); without
+AQUA a few users repeatedly hit unresponsiveness (vLLM's TTFT tail);
+CFS-without-AQUA raises RCT ~1.5x, AQUA+CFS keeps the worst-case RCT
+within ~20% while matching vLLM for late-arriving requests.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+
+
+def test_fig13_chatbot(benchmark):
+    result = run_once(benchmark, lambda: F.fig13_chatbot(n_users=25, turns=4))
+    rows = []
+    for label, data in result.items():
+        s = data["summary"]
+        rows.append(
+            [
+                label,
+                data["turns_completed"],
+                s["ttft_mean"],
+                s["ttft_max"],
+                s["rct_mean"],
+                s["rct_max"],
+            ]
+        )
+    emit(
+        format_table(
+            ["system", "turns", "ttft_mean_s", "ttft_max_s", "rct_mean_s", "rct_max_s"],
+            rows,
+            title="Figure 13 (paper: CFS ends repeated unresponsiveness)",
+        )
+    )
+    vllm = result["vllm"]["summary"]
+    cfs = result["cfs-dram"]["summary"]
+    aqua = result["aqua"]["summary"]
+    # Every system finishes all 100 turns.
+    assert all(d["turns_completed"] == 100 for d in result.values())
+    # Fair scheduling removes the repeated-unresponsiveness tail.
+    assert aqua["ttft_max"] < vllm["ttft_max"] / 2
+    assert cfs["ttft_max"] < vllm["ttft_max"] / 2
+    # AQUA's mean RCT stays at or below the DRAM CFS variant.
+    assert aqua["rct_mean"] <= cfs["rct_mean"]
+    # The saw-tooth: completions cluster into turn waves.
+    times = [t for t, _ in result["aqua"]["rct_by_completion"]]
+    assert times == sorted(times)

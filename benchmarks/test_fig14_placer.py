@@ -1,0 +1,42 @@
+"""Figure 14 / §A.1: AQUA-PLACER convergence time, 16-128 GPUs.
+
+Paper: the Gurobi encoding converges in <1 s for 50/50 LLM
+producer/consumer clusters and up to ~45 s for mixed-modality clusters
+(more feasible matchings to search).  This reproduction solves the same
+MILP with HiGHS under a 60 s budget.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+
+
+def test_fig14_placer_convergence(benchmark):
+    result = run_once(
+        benchmark, lambda: F.fig14_placer_convergence(gpu_counts=(16, 32, 64, 128))
+    )
+    emit(
+        format_table(
+            ["gpus", "mixed_s", "llm5050_s", "mixed_pairs", "llm5050_pairs"],
+            [
+                [
+                    r["gpus"],
+                    r["mixed_seconds"],
+                    r["llm5050_seconds"],
+                    r["mixed_pairs"],
+                    r["llm5050_pairs"],
+                ]
+                for r in result["rows"]
+            ],
+            title="Figure 14 (paper: mixed <45 s, 50/50 <1 s)",
+        )
+    )
+    for row in result["rows"]:
+        # 50/50 LLM instances are near-instant, like the paper's <1 s.
+        assert row["llm5050_seconds"] < 2.0
+        # Mixed-modality is the harder search.
+        assert row["mixed_seconds"] > row["llm5050_seconds"]
+        # Every consumer gets a producer in the 50/50 split.
+        assert row["llm5050_pairs"] == row["gpus"] // 2
+    # The time budget bounds even the largest instance.
+    assert result["rows"][-1]["mixed_seconds"] < 90.0

@@ -1,0 +1,52 @@
+"""Figures 15-17: the CFS workload next to different memory producers.
+
+Paper: the responsiveness gains of Figure 9 are insensitive to who the
+producer is — an elastic Mistral LLM producer (Fig. 15), a
+StableDiffusion producer (Fig. 16), or producers across an 8-GPU
+NVSwitch server (Fig. 17) all give similar TTFT/RCT improvements.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+
+
+def _check_and_report(result, title):
+    systems = result[2.0]
+    rows = []
+    for label, data in systems.items():
+        s = data["summary"]
+        rows.append([label, s["ttft_mean"], s["ttft_p95"], s["rct_mean"]])
+    emit(
+        format_table(
+            ["system", "ttft_mean_s", "ttft_p95_s", "rct_mean_s"],
+            rows,
+            title=title,
+        )
+    )
+    vllm = systems["vllm"]["summary"]
+    aqua = systems["aqua"]["summary"]
+    cfs = systems["cfs-dram"]["summary"]
+    assert aqua["ttft_p95"] < vllm["ttft_p95"] / 2
+    assert aqua["rct_mean"] < cfs["rct_mean"]
+
+
+def test_fig15_llm_producer(benchmark):
+    result = run_once(
+        benchmark, lambda: F.fig15_llm_producer(rates=(2.0,), count=50)
+    )
+    _check_and_report(result, "Figure 15: CFS + Mistral LLM producer")
+
+
+def test_fig16_sd_producer(benchmark):
+    result = run_once(
+        benchmark, lambda: F.fig16_sd_producer(rates=(2.0,), count=50)
+    )
+    _check_and_report(result, "Figure 16: CFS + StableDiffusion producer")
+
+
+def test_fig17_nvswitch_cfs(benchmark):
+    result = run_once(
+        benchmark, lambda: F.fig17_nvswitch_cfs(rates=(2.0,), count=50)
+    )
+    _check_and_report(result, "Figure 17: CFS on the 8-GPU NVSwitch server")

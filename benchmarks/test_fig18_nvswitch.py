@@ -1,0 +1,28 @@
+"""Figure 18: stressing the NVSwitch with four bandwidth-hungry pairs.
+
+Paper: four long-prompt consumers, each offloading to its own producer
+across the NVSwitch, all achieve the same high throughput as the
+direct-NVLink 2-GPU server — the switch does not become the bottleneck.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.report import format_table
+
+
+def test_fig18_nvswitch_stress(benchmark):
+    result = run_once(benchmark, lambda: F.fig18_nvswitch_stress(duration=120.0))
+    tokens = result["per_consumer_tokens"]
+    ref = result["two_gpu_reference_tokens"]
+    emit(
+        format_table(
+            ["consumer", "tokens"],
+            [[f"pair{i}", t] for i, t in enumerate(tokens)] + [["2-GPU ref", ref]],
+            title="Figure 18 (paper: all consumers match the 2-GPU server)",
+        )
+    )
+    assert len(tokens) == 4
+    for t in tokens:
+        assert t > 0.8 * ref
+    # And they match each other (no unfair switch contention).
+    assert max(tokens) < 1.2 * min(tokens)

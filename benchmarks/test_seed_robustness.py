@@ -1,0 +1,91 @@
+"""Extension: the headline results are stable across workload seeds.
+
+Re-runs the two headline comparisons (long-prompt speedup, LoRA RCT
+improvement) over several seeds and checks that the mean effect matches
+the paper's shape with a small coefficient of variation — i.e., the
+reproduction's conclusions do not hinge on one lucky trace.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments.harness import DEFAULT_LORA_CACHE_BYTES, build_consumer_rig, drain
+from repro.experiments.report import format_table
+from repro.experiments.stats import coefficient_of_variation, mean_std, replicate, summarize_replicates
+from repro.models import SD_15, synthesize_adapters
+from repro.workloads import long_prompt_requests, lora_requests
+from repro.workloads.arrivals import submit_all
+
+SEEDS = (0, 1, 2, 3)
+
+
+def _lora_gain(seed: int) -> dict:
+    def mean_rct(use_aqua: bool) -> float:
+        rig = build_consumer_rig(
+            "vllm",
+            "Mistral-7B",
+            producer_model=SD_15 if use_aqua else None,
+            use_aqua=use_aqua,
+            lora_capacity_bytes=DEFAULT_LORA_CACHE_BYTES,
+        ).start()
+        adapters = synthesize_adapters(30, 320 * 10**6)
+        if use_aqua:
+            rig.warm_up(1.0)
+            for adapter in adapters:
+                rig.lora_cache.register(adapter)
+        requests = lora_requests(adapters, rate=8.0, count=80, seed=seed, start=1.0)
+        submit_all(rig.env, rig.consumer_engine, requests)
+        drain(rig.env, requests, timeout=600)
+        rcts = [r.rct for r in requests if r.rct is not None]
+        return sum(rcts) / len(rcts)
+
+    return {"gain": mean_rct(False) / mean_rct(True)}
+
+
+def _longprompt_speedup(seed: int) -> dict:
+    # The long-prompt job is deterministic, but the producer's Parti
+    # traffic (and hence interference) varies with the seed.
+    from repro.workloads import producer_requests
+
+    def tokens(use_aqua: bool) -> int:
+        rig = build_consumer_rig(
+            "flexgen",
+            "OPT-30B",
+            producer_model=SD_15 if use_aqua else None,
+            use_aqua=use_aqua,
+        ).start()
+        if use_aqua:
+            rig.warm_up(1.0)
+            submit_all(
+                rig.env,
+                rig.producer_engine,
+                producer_requests(rate=2.0, count=1000, seed=seed, start=1.0),
+            )
+        submit_all(rig.env, rig.consumer_engine, long_prompt_requests(start=1.0))
+        rig.env.run(until=31.0)
+        return rig.consumer_engine.metrics.tokens_generated
+
+    return {"speedup": tokens(True) / tokens(False)}
+
+
+def test_headline_results_seed_robust(benchmark):
+    def run():
+        lora = summarize_replicates(replicate(_lora_gain, SEEDS), ["gain"])["gain"]
+        speedup = summarize_replicates(
+            replicate(_longprompt_speedup, SEEDS), ["speedup"]
+        )["speedup"]
+        return {"lora_gain": lora, "longprompt_speedup": speedup}
+
+    result = run_once(benchmark, run)
+    emit(
+        format_table(
+            ["metric", "mean", "std", "cv"],
+            [
+                [name, s.mean, s.std, coefficient_of_variation(s)]
+                for name, s in result.items()
+            ],
+            title=f"Headline effects across seeds {SEEDS}",
+        )
+    )
+    assert result["lora_gain"].mean > 1.3
+    assert result["longprompt_speedup"].mean > 4
+    for spread in result.values():
+        assert coefficient_of_variation(spread) < 0.25

@@ -1,0 +1,41 @@
+"""Extension: scheduler trade-offs across the request-rate axis.
+
+The paper samples 2 and 5 req/s (Figure 9); this sweep fills in the
+curve.  Expected shape: at light load all three schedulers match; as
+load grows, vLLM's TTFT tail explodes while CFS stays bounded, and the
+DRAM-paged CFS's RCT penalty keeps growing where AQUA's stays small.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments.report import format_table
+from repro.experiments.sweep import sweep_request_rate, sweep_rows
+
+
+def test_sweep_request_rates(benchmark):
+    points = run_once(
+        benchmark, lambda: sweep_request_rate(rates=(1.0, 2.0, 4.0, 6.0), count=40)
+    )
+    emit(
+        format_table(
+            [
+                "rate",
+                "vllm_ttft_p95",
+                "cfs_ttft_p95",
+                "aqua_ttft_p95",
+                "cfs_rct_penalty",
+                "aqua_rct_penalty",
+            ],
+            sweep_rows(points),
+            title="Scheduler trade-offs vs request rate (CodeLlama-34B)",
+        )
+    )
+    light, heavy = points[0], points[-1]
+    # At light load, fairness is ~free: penalties near 1.
+    assert light.rct_penalty("aqua") < 1.2
+    # Under load the TTFT win materializes...
+    assert heavy.ttft_gain("aqua") > 1.3
+    # ...and AQUA's RCT penalty stays below the DRAM variant's at every rate.
+    for p in points:
+        assert p.rct_penalty("aqua") <= p.rct_penalty("cfs-dram") + 0.05
+    # The DRAM penalty grows with load (more context traffic to page).
+    assert heavy.rct_penalty("cfs-dram") > light.rct_penalty("cfs-dram")

@@ -1,0 +1,115 @@
+"""Tables 1-3: the evaluation's workload inventory, executed end-to-end.
+
+Beyond listing the (model, workload, engine) triples, this benchmark
+actually runs a short slice of every row: each consumer workload on its
+engine and each producer workload on its engine, verifying the whole
+inventory is servable by the reproduction.
+"""
+
+from benchmarks._util import emit, run_once
+from repro.experiments import figures as F
+from repro.experiments.harness import DEFAULT_LORA_CACHE_BYTES, build_consumer_rig, drain
+from repro.experiments.report import format_table
+from repro.hardware import Server
+from repro.models import AUDIOGEN, KANDINSKY, MUSICGEN, SD_15, SD_XL, synthesize_adapters
+from repro.serving import BatchEngine
+from repro.sim import Environment
+from repro.workloads import (
+    code_summary_requests,
+    long_prompt_requests,
+    lora_requests,
+    producer_requests,
+    sharegpt_requests,
+)
+from repro.workloads.arrivals import submit_all
+
+
+def test_tables_inventory(benchmark):
+    tables = run_once(
+        benchmark,
+        lambda: {
+            "table1": F.table1_deficit_jobs(),
+            "table2": F.table2_excess_llm_jobs(),
+            "table3": F.table3_producer_jobs(),
+        },
+    )
+    for name, rows in tables.items():
+        emit(
+            format_table(
+                ["model", "workload", "engine"],
+                [[r["model"], r["workload"], r["engine"]] for r in rows],
+                title=name,
+            )
+        )
+    assert len(tables["table1"]) == 3
+    assert len(tables["table2"]) == 2
+    assert len(tables["table3"]) == 2
+
+
+def test_table1_deficit_jobs_run(benchmark):
+    run_once(benchmark, _run_table1)
+
+
+def _run_table1():
+    # OPT-30B long prompts on FlexGen.
+    rig = build_consumer_rig("flexgen", "OPT-30B", producer_model=SD_15).start()
+    rig.warm_up(1.0)
+    submit_all(rig.env, rig.consumer_engine, long_prompt_requests())
+    rig.env.run(until=10)
+    assert rig.consumer_engine.metrics.tokens_generated > 0
+
+    # Mistral-7B + LoRA adapters on vLLM.
+    rig = build_consumer_rig(
+        "vllm",
+        "Mistral-7B",
+        producer_model=SD_15,
+        lora_capacity_bytes=DEFAULT_LORA_CACHE_BYTES,
+    ).start()
+    rig.warm_up(1.0)
+    adapters = synthesize_adapters(30, 320 * 10**6)
+    reqs = lora_requests(adapters, rate=5, count=10, seed=0, start=1.0)
+    submit_all(rig.env, rig.consumer_engine, reqs)
+    drain(rig.env, reqs, timeout=120)
+    assert all(r.done for r in reqs)
+
+    # CodeLlama-34B code summaries on vLLM + CFS.
+    rig = build_consumer_rig(
+        "cfs", "CodeLlama-34B", producer_model=KANDINSKY
+    ).start()
+    rig.warm_up(1.0)
+    reqs = code_summary_requests(rate=2, count=10, seed=0, start=1.0)
+    submit_all(rig.env, rig.consumer_engine, reqs)
+    drain(rig.env, reqs, timeout=300)
+    assert all(r.done for r in reqs)
+
+
+def test_table2_excess_llm_jobs_run(benchmark):
+    run_once(benchmark, _run_table2)
+
+
+def _run_table2():
+    for model in ("Mistral-7B", "Llama-2-13B"):
+        rig = build_consumer_rig("vllm", model, use_aqua=False).start()
+        reqs = sharegpt_requests(rate=2, count=10, seed=0)
+        submit_all(rig.env, rig.consumer_engine, reqs)
+        drain(rig.env, reqs, timeout=300)
+        assert all(r.done for r in reqs), model
+
+
+def test_table3_producer_jobs_run(benchmark):
+    run_once(benchmark, _run_table3)
+
+
+def _run_table3():
+    env = Environment()
+    server = Server(env, n_gpus=8, topology="nvswitch")
+    engines = []
+    for i, model in enumerate((SD_15, SD_XL, KANDINSKY, MUSICGEN, AUDIOGEN)):
+        engine = BatchEngine(server.gpus[i], server, model, name=f"prod-{model.name}")
+        engine.start()
+        reqs = producer_requests(rate=1.0, count=5, seed=i)
+        submit_all(env, engine, reqs)
+        engines.append((engine, reqs))
+    env.run(until=120)
+    for engine, reqs in engines:
+        assert all(r.done for r in reqs), engine.name

@@ -1,0 +1,78 @@
+"""Re-calibrate the simulator to your own hardware measurements.
+
+Takes bandwidth points as they would come from ``nccl-tests`` or
+``p2pBandwidthLatencyTest`` on a real machine, fits the simulator's
+latency+bandwidth link model to them, and re-runs the long-prompt
+experiment on the fitted links — the workflow for porting this
+reproduction's predictions to new hardware.
+
+Run:  python examples/calibrate_and_run.py
+"""
+
+from repro.aqua import AquaLib, BatchInformer, Coordinator
+from repro.experiments.report import format_table
+from repro.hardware import Server
+from repro.hardware.calibration import fit_link_from_pairs, residuals, BandwidthPoint
+from repro.models import OPT_30B, SD_15
+from repro.serving import BatchEngine, FlexGenEngine
+from repro.sim import Environment
+from repro.workloads import long_prompt_requests
+from repro.workloads.arrivals import submit_all
+
+GB = 10**9
+MB = 10**6
+
+# Pretend these came from running nccl-tests on *your* server:
+MEASURED_NVLINK = [(1 * MB, 55 * GB), (8 * MB, 150 * GB), (256 * MB, 220 * GB)]
+MEASURED_PCIE = [(1 * MB, 9 * GB), (64 * MB, 20 * GB), (512 * MB, 21 * GB)]
+
+DURATION = 60.0
+
+
+def tokens_on(server_kwargs, use_aqua):
+    env = Environment()
+    server = Server(env, n_gpus=2, **server_kwargs)
+    coord = Coordinator()
+    lib = AquaLib(server.gpus[0], server, coord)
+    engine = FlexGenEngine(
+        server.gpus[0], server, OPT_30B, aqua_lib=lib, workspace_tokens=8000
+    )
+    if use_aqua:
+        producer_lib = AquaLib(server.gpus[1], server, coord, informer=BatchInformer())
+        BatchEngine(server.gpus[1], server, SD_15, aqua_lib=producer_lib).start()
+        coord.pair(lib.name, producer_lib.name)
+    engine.start()
+    env.run(until=1.0)
+    submit_all(env, engine, long_prompt_requests(start=1.0))
+    env.run(until=1.0 + DURATION)
+    return engine.metrics.tokens_generated
+
+
+def main() -> None:
+    nvlink = fit_link_from_pairs(MEASURED_NVLINK, name="my-nvlink")
+    pcie = fit_link_from_pairs(MEASURED_PCIE, name="my-pcie")
+    print(f"fitted {nvlink.name}: peak {nvlink.peak_bandwidth / GB:.0f} GB/s, "
+          f"latency {nvlink.latency * 1e6:.1f} us")
+    print(f"fitted {pcie.name}:   peak {pcie.peak_bandwidth / GB:.0f} GB/s, "
+          f"latency {pcie.latency * 1e6:.1f} us")
+    errs = residuals(nvlink, [BandwidthPoint(n, bw) for n, bw in MEASURED_NVLINK])
+    print(f"fit residuals (relative bandwidth error): "
+          f"{', '.join(f'{e:+.1%}' for e in errs)}\n")
+
+    fitted = {"gpu_link": nvlink, "pcie_link": pcie}
+    rows = []
+    for label, kwargs in (("paper A100 presets", {}), ("fitted hardware", fitted)):
+        baseline = tokens_on(kwargs, use_aqua=False)
+        aqua = tokens_on(kwargs, use_aqua=True)
+        rows.append([label, baseline, aqua, aqua / baseline])
+    print(
+        format_table(
+            ["link models", "dram_tokens", "aqua_tokens", "speedup"],
+            rows,
+            title=f"Long-prompt experiment on each calibration ({DURATION:.0f}s)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

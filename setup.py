@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments without the `wheel` package
+(legacy `setup.py develop` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""AQUA: transparent, elastic multi-GPU memory management.
+
+This package is the paper's primary contribution:
+
+* :class:`AquaTensor` — migratable offloaded tensors that live in a
+  producer GPU's spare HBM (reached over NVLink) or fall back to host
+  DRAM, with gather/scatter batching so small KV buffers still see
+  NVLink's large-transfer bandwidth (§3, §5).
+* :class:`Coordinator` — the central thread-safe datastore behind a
+  REST API that tracks memory offers from producers, requests from
+  consumers, and reclaim signalling (§3, §B).
+* :class:`AquaLib` — the per-GPU library instance with a *northbound*
+  interface to the serving engine (``inform_stats``, ``respond``) and a
+  *southbound* interface to the coordinator (§3).
+* informers — the ``llm-informer`` and ``batch-informer`` donate/reclaim
+  policies (§B.1).
+* :class:`AquaPlacer` — Algorithm 1: optimal model placement via MILP
+  plus per-server stable matching (§4).
+"""
+
+from repro.aqua.coordinator import Coordinator, Lease
+from repro.aqua.informers import BatchInformer, EngineStats, LlmInformer
+from repro.aqua.lib import AquaLib
+from repro.aqua.placer import (
+    AquaPlacer,
+    ModelInstance,
+    Placement,
+    PlacementError,
+    stable_match,
+)
+from repro.aqua.rest import Response, RestRouter
+from repro.aqua.tensor import AquaTensor, Location
+
+__all__ = [
+    "AquaLib",
+    "AquaPlacer",
+    "AquaTensor",
+    "BatchInformer",
+    "Coordinator",
+    "EngineStats",
+    "Lease",
+    "LlmInformer",
+    "Location",
+    "ModelInstance",
+    "Placement",
+    "PlacementError",
+    "Response",
+    "RestRouter",
+    "stable_match",
+]

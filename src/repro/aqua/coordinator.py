@@ -1,0 +1,339 @@
+"""The AQUA central coordinator (§3, §B).
+
+The coordinator is a thread-safe datastore behind REST endpoints.  It
+tracks which GPUs are memory *producers* (holding active leases of
+spare HBM), which *consumers* they are paired with (decided by
+AQUA-PLACER before models start), where every offloaded AQUA TENSOR
+lives, and in-flight reclaim requests.
+
+Endpoints (all payloads are JSON-like dicts; GPUs are identified by
+their names):
+
+=======================  ====================================================
+``POST /pair``           Pair a consumer GPU with its producer (from the placer).
+``POST /lease``          Producer offers ``nbytes`` of spare HBM.
+``POST /reclaim_request``Producer asks for its memory back.
+``GET  /reclaim_status`` Producer polls whether consumers have evacuated.
+``POST /allocate``       Consumer asks where a new tensor should live.
+``POST /free``           Consumer frees a tensor.
+``POST /moved``          Consumer confirms a tensor migration finished.
+``GET  /respond``        Consumer fetches the migrations it must perform.
+``GET  /offers``         Debug view of live leases.
+``GET  /stats``          Snapshot of the whole datastore.
+=======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.aqua.rest import Response, RestRouter
+
+#: Sentinel location meaning "host DRAM fallback".
+DRAM = "dram"
+
+
+@dataclass
+class Lease:
+    """A producer's standing offer of spare HBM."""
+
+    producer: str
+    offered: int
+    used: int = 0
+    #: While False, no new allocations may land on this producer.
+    accepting: bool = True
+
+    @property
+    def free(self) -> int:
+        return self.offered - self.used
+
+
+@dataclass
+class Allocation:
+    """Where one offloaded tensor lives."""
+
+    tensor_id: int
+    consumer: str
+    location: str  # producer GPU name, or DRAM
+    nbytes: int
+
+
+@dataclass
+class ReclaimRequest:
+    """An in-flight request by a producer to get its memory back."""
+
+    producer: str
+    pending_tensors: set[int] = field(default_factory=set)
+
+    @property
+    def done(self) -> bool:
+        return not self.pending_tensors
+
+
+class Coordinator:
+    """Central bookkeeping for AQUA leases, pairings and tensors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.router = RestRouter()
+        #: Data-plane registry: GPU name -> device object.  Populated by
+        #: AquaLib instances when they register; stands in for the
+        #: cluster addressing a real deployment gets from NCCL ranks.
+        self.devices: dict = {}
+        self.leases: dict[str, Lease] = {}
+        self.pairings: dict[str, str] = {}  # consumer -> producer
+        self.allocations: dict[int, Allocation] = {}
+        self.reclaims: dict[str, ReclaimRequest] = {}
+        #: Migrations owed per consumer: tensor_id -> target location.
+        self._migrations: dict[str, dict[int, str]] = {}
+        self._install_routes()
+
+    # ------------------------------------------------------------------
+    # REST facade
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, payload: Optional[dict] = None) -> Response:
+        """Entry point used by AQUA-LIB's southbound interface."""
+        return self.router.request(method, path, payload)
+
+    def _install_routes(self) -> None:
+        route = self.router.route
+
+        @route("POST", "/pair")
+        def pair(payload: dict) -> Response:
+            return self.pair(payload["consumer"], payload["producer"])
+
+        @route("POST", "/lease")
+        def lease(payload: dict) -> Response:
+            return self.lease(payload["producer"], int(payload["nbytes"]))
+
+        @route("POST", "/reclaim_request")
+        def reclaim_request(payload: dict) -> Response:
+            return self.reclaim_request(payload["producer"])
+
+        @route("GET", "/reclaim_status")
+        def reclaim_status(payload: dict) -> Response:
+            return self.reclaim_status(payload["producer"])
+
+        @route("POST", "/allocate")
+        def allocate(payload: dict) -> Response:
+            return self.allocate(
+                payload["consumer"], int(payload["tensor_id"]), int(payload["nbytes"])
+            )
+
+        @route("POST", "/free")
+        def free(payload: dict) -> Response:
+            return self.free(int(payload["tensor_id"]))
+
+        @route("POST", "/moved")
+        def moved(payload: dict) -> Response:
+            return self.moved(int(payload["tensor_id"]), payload["location"])
+
+        @route("GET", "/respond")
+        def respond(payload: dict) -> Response:
+            return self.respond(payload["consumer"])
+
+        @route("GET", "/offers")
+        def offers(payload: dict) -> Response:
+            with self._lock:
+                body = {
+                    name: {"offered": l.offered, "used": l.used, "accepting": l.accepting}
+                    for name, l in self.leases.items()
+                }
+            return Response.json({"leases": body})
+
+        @route("GET", "/stats")
+        def stats(payload: dict) -> Response:
+            with self._lock:
+                return Response.json(
+                    {
+                        "leases": len(self.leases),
+                        "pairings": dict(self.pairings),
+                        "allocations": len(self.allocations),
+                        "offloaded_bytes": sum(
+                            a.nbytes
+                            for a in self.allocations.values()
+                            if a.location != DRAM
+                        ),
+                        "dram_bytes": sum(
+                            a.nbytes
+                            for a in self.allocations.values()
+                            if a.location == DRAM
+                        ),
+                    }
+                )
+
+    # ------------------------------------------------------------------
+    # Handlers (also callable directly; every one takes the lock)
+    # ------------------------------------------------------------------
+    def pair(self, consumer: str, producer: str) -> Response:
+        """Record the placer's consumer->producer assignment."""
+        with self._lock:
+            self.pairings[consumer] = producer
+            return Response.json({"consumer": consumer, "producer": producer})
+
+    def lease(self, producer: str, nbytes: int) -> Response:
+        """Producer offers ``nbytes`` of HBM (adds to an existing lease)."""
+        if nbytes <= 0:
+            return Response.error(f"lease size must be positive, got {nbytes}")
+        with self._lock:
+            if producer in self.reclaims:
+                return Response.error(
+                    f"{producer} has a reclaim in progress", status=409
+                )
+            lease = self.leases.get(producer)
+            if lease is None:
+                lease = Lease(producer=producer, offered=0)
+                self.leases[producer] = lease
+            lease.offered += nbytes
+            lease.accepting = True
+            return Response.json({"producer": producer, "offered": lease.offered})
+
+    def reclaim_request(self, producer: str) -> Response:
+        """Producer wants all its donated memory back.
+
+        Marks the lease non-accepting and queues a migration to DRAM
+        for every tensor currently parked on the producer.
+        """
+        with self._lock:
+            lease = self.leases.get(producer)
+            if lease is None:
+                return Response.error(f"{producer} has no lease", status=404)
+            lease.accepting = False
+            reclaim = self.reclaims.setdefault(producer, ReclaimRequest(producer))
+            for alloc in self.allocations.values():
+                if alloc.location == producer:
+                    reclaim.pending_tensors.add(alloc.tensor_id)
+                    self._migrations.setdefault(alloc.consumer, {})[
+                        alloc.tensor_id
+                    ] = DRAM
+            if reclaim.done:
+                self._finish_reclaim(producer)
+                return Response.json({"pending": 0, "done": True})
+            return Response.json(
+                {"pending": len(reclaim.pending_tensors), "done": False}
+            )
+
+    def reclaim_status(self, producer: str) -> Response:
+        """Poll an in-flight reclaim; completes it when drained."""
+        with self._lock:
+            reclaim = self.reclaims.get(producer)
+            if reclaim is None:
+                return Response.json({"pending": 0, "done": True})
+            if reclaim.done:
+                self._finish_reclaim(producer)
+                return Response.json({"pending": 0, "done": True})
+            return Response.json(
+                {"pending": len(reclaim.pending_tensors), "done": False}
+            )
+
+    def _finish_reclaim(self, producer: str) -> None:
+        """Drop the drained lease so the producer can reuse its memory."""
+        self.reclaims.pop(producer, None)
+        self.leases.pop(producer, None)
+
+    def allocate(self, consumer: str, tensor_id: int, nbytes: int) -> Response:
+        """Pick the location for a new tensor: paired producer, else DRAM."""
+        if nbytes <= 0:
+            return Response.error(f"tensor size must be positive, got {nbytes}")
+        with self._lock:
+            if tensor_id in self.allocations:
+                return Response.error(
+                    f"tensor {tensor_id} already allocated", status=409
+                )
+            location = DRAM
+            producer = self.pairings.get(consumer)
+            if producer is not None:
+                lease = self.leases.get(producer)
+                if lease is not None and lease.accepting and lease.free >= nbytes:
+                    lease.used += nbytes
+                    location = producer
+            self.allocations[tensor_id] = Allocation(
+                tensor_id=tensor_id,
+                consumer=consumer,
+                location=location,
+                nbytes=nbytes,
+            )
+            return Response.json({"location": location})
+
+    def free(self, tensor_id: int) -> Response:
+        """Release a tensor's allocation wherever it lives."""
+        with self._lock:
+            alloc = self.allocations.pop(tensor_id, None)
+            if alloc is None:
+                return Response.error(f"unknown tensor {tensor_id}", status=404)
+            self._release_location(alloc)
+            self._migrations.get(alloc.consumer, {}).pop(tensor_id, None)
+            reclaim = self.reclaims.get(alloc.location)
+            if reclaim is not None:
+                reclaim.pending_tensors.discard(tensor_id)
+            return Response.json({"freed": alloc.nbytes})
+
+    def moved(self, tensor_id: int, location: str) -> Response:
+        """Consumer confirms a tensor now lives at ``location``."""
+        with self._lock:
+            alloc = self.allocations.get(tensor_id)
+            if alloc is None:
+                return Response.error(f"unknown tensor {tensor_id}", status=404)
+            old = alloc.location
+            if old == location:
+                return Response.json({"location": location})
+            self._release_location(alloc)
+            if location != DRAM:
+                lease = self.leases.get(location)
+                if lease is None or not lease.accepting or lease.free < alloc.nbytes:
+                    return Response.error(
+                        f"no capacity on {location} for tensor {tensor_id}",
+                        status=409,
+                    )
+                lease.used += alloc.nbytes
+            alloc.location = location
+            self._migrations.get(alloc.consumer, {}).pop(tensor_id, None)
+            reclaim = self.reclaims.get(old)
+            if reclaim is not None:
+                reclaim.pending_tensors.discard(tensor_id)
+            return Response.json({"location": location})
+
+    def respond(self, consumer: str) -> Response:
+        """Migrations this consumer must perform at its next boundary.
+
+        Forced moves (reclaims) come first; then opportunistic upgrades
+        of DRAM tensors into the paired producer's free lease.
+        """
+        with self._lock:
+            moves = dict(self._migrations.get(consumer, {}))
+            producer = self.pairings.get(consumer)
+            if producer is not None:
+                lease = self.leases.get(producer)
+                if lease is not None and lease.accepting:
+                    budget = lease.free
+                    for alloc in self.allocations.values():
+                        if (
+                            alloc.consumer == consumer
+                            and alloc.location == DRAM
+                            and alloc.tensor_id not in moves
+                            and alloc.nbytes <= budget
+                        ):
+                            moves[alloc.tensor_id] = producer
+                            budget -= alloc.nbytes
+            return Response.json({"migrations": moves})
+
+    def _release_location(self, alloc: Allocation) -> None:
+        if alloc.location != DRAM:
+            lease = self.leases.get(alloc.location)
+            if lease is not None:
+                lease.used -= alloc.nbytes
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests and reports)
+    # ------------------------------------------------------------------
+    def offloaded_bytes(self, producer: str) -> int:
+        with self._lock:
+            return sum(
+                a.nbytes for a in self.allocations.values() if a.location == producer
+            )
+
+    def tensors_of(self, consumer: str) -> list[Allocation]:
+        with self._lock:
+            return [a for a in self.allocations.values() if a.consumer == consumer]

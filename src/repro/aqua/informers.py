@@ -1,0 +1,197 @@
+"""Informers: per-engine donate/reclaim policies (§B.1).
+
+The northbound ``inform_stats(...)`` call feeds engine-level metrics to
+AQUA-LIB; an *informer* turns those metrics into a decision — donate
+spare memory, reclaim donated memory, or do nothing.  The paper ships
+two informers:
+
+* ``llm-informer`` — an LLM is a producer when its request rate is low:
+  it retains ~5 GB for live inference context and donates the rest;
+  when the wait queue builds up it reclaims everything.
+* ``batch-informer`` — image/audio engines run at a fixed peak-throughput
+  batch size, so after each batch they donate whatever HBM is free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.hardware.specs import GiB
+
+
+class Action(str, Enum):
+    """What the informer wants AQUA-LIB to do."""
+
+    OFFER = "offer"
+    RECLAIM = "reclaim"
+    HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class Decision:
+    action: Action
+    nbytes: int = 0
+
+    @classmethod
+    def hold(cls) -> "Decision":
+        return cls(Action.HOLD)
+
+    @classmethod
+    def offer(cls, nbytes: int) -> "Decision":
+        return cls(Action.OFFER, nbytes)
+
+    @classmethod
+    def reclaim(cls) -> "Decision":
+        return cls(Action.RECLAIM)
+
+
+@dataclass
+class EngineStats:
+    """Engine-level metrics passed through ``inform_stats(...)``.
+
+    Attributes
+    ----------
+    now:
+        Simulation time of the report.
+    pending_requests:
+        Requests waiting in the engine's admission queue.
+    running_requests:
+        Requests currently being inferred.
+    kv_used_bytes, kv_capacity_bytes:
+        Occupancy of the engine's reserved inference-context region.
+    offerable_bytes:
+        Bytes the engine could release right now (free context region
+        plus any other spare HBM), before the informer's retention.
+    arrived_total:
+        Cumulative requests ever submitted to the engine — the informer
+        differentiates this over its window to estimate the request
+        rate, exactly as the paper's ``llm-informer`` does (§B.1).
+    """
+
+    now: float
+    pending_requests: int = 0
+    running_requests: int = 0
+    kv_used_bytes: int = 0
+    kv_capacity_bytes: int = 0
+    offerable_bytes: int = 0
+    arrived_total: int = 0
+
+    @property
+    def kv_utilization(self) -> float:
+        if self.kv_capacity_bytes <= 0:
+            return 0.0
+        return self.kv_used_bytes / self.kv_capacity_bytes
+
+
+class LlmInformer:
+    """Donate when traffic is low; reclaim when the queue builds (§B.1).
+
+    The paper's ``llm-informer`` estimates the request rate over a time
+    window from the queue metric the engine reports: below a threshold
+    the LLM retains ~5 GB for live context and donates the rest; above
+    it (or when the wait queue builds up), it reclaims.
+
+    Parameters
+    ----------
+    retain_bytes:
+        Context memory kept out of any donation so the engine stays
+        responsive (the paper retains 5 GB).
+    rate_low, rate_high:
+        Request-rate thresholds (req/s) for donating / reclaiming.
+    queue_high:
+        Pending-request count that also signals overload.
+    low_utilization:
+        KV-region utilization below which the engine counts as idle.
+    min_offer_bytes:
+        Donations smaller than this are not worth the coordination.
+    window:
+        Number of recent reports kept for queue smoothing (a single
+        momentary spike does not trigger reclaim).
+    rate_window:
+        Seconds of arrival history used for the rate estimate; a short
+        window mistakes Poisson clumping for a burst.
+    """
+
+    def __init__(
+        self,
+        retain_bytes: int = 5 * GiB,
+        rate_low: float = 3.0,
+        rate_high: float = 4.0,
+        queue_high: int = 4,
+        low_utilization: float = 0.5,
+        min_offer_bytes: int = 1 * GiB,
+        window: int = 3,
+        rate_window: float = 10.0,
+    ) -> None:
+        if retain_bytes < 0 or min_offer_bytes <= 0:
+            raise ValueError("retain_bytes must be >= 0 and min_offer_bytes > 0")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if rate_high < rate_low:
+            raise ValueError("rate_high must be >= rate_low")
+        if rate_window <= 0:
+            raise ValueError(f"rate_window must be positive, got {rate_window}")
+        self.retain_bytes = retain_bytes
+        self.rate_low = rate_low
+        self.rate_high = rate_high
+        self.queue_high = queue_high
+        self.low_utilization = low_utilization
+        self.min_offer_bytes = min_offer_bytes
+        self.rate_window = rate_window
+        self._recent_pending: deque[int] = deque(maxlen=window)
+        self._recent_arrivals: deque[tuple[float, int]] = deque()
+
+    def _request_rate(self, now: float, arrived_total: int) -> float:
+        self._recent_arrivals.append((now, arrived_total))
+        while (
+            len(self._recent_arrivals) > 2
+            and now - self._recent_arrivals[0][0] > self.rate_window
+        ):
+            self._recent_arrivals.popleft()
+        (t0, a0), (t1, a1) = self._recent_arrivals[0], self._recent_arrivals[-1]
+        # A floor on the span keeps a couple of clumped arrivals right
+        # after startup from reading as a huge rate.
+        span = max(t1 - t0, 1.0)
+        return (a1 - a0) / span
+
+    def decide(self, stats: EngineStats, donated_bytes: int) -> Decision:
+        """Pick an action given fresh stats and the current donation."""
+        self._recent_pending.append(stats.pending_requests)
+        smoothed = sum(self._recent_pending) / len(self._recent_pending)
+        rate = self._request_rate(stats.now, stats.arrived_total)
+        if donated_bytes > 0 and (smoothed >= self.queue_high or rate > self.rate_high):
+            return Decision.reclaim()
+        if (
+            rate < self.rate_low
+            and smoothed < self.queue_high
+            and stats.kv_utilization <= self.low_utilization
+        ):
+            spare = stats.offerable_bytes - self.retain_bytes
+            if spare >= self.min_offer_bytes:
+                return Decision.offer(spare)
+        return Decision.hold()
+
+
+class BatchInformer:
+    """Fixed-batch producers donate all free memory beyond a margin.
+
+    Image and audio engines serve at their peak-throughput batch size
+    (Figure 2), so their free memory is stable; the informer donates it
+    once and only tops up if more frees up.  Integrating this into the
+    diffusers/audio engines took "less than 10 lines of code" in the
+    paper — the decision logic is correspondingly simple.
+    """
+
+    def __init__(self, margin_bytes: int = 2 * GiB, min_offer_bytes: int = 1 * GiB) -> None:
+        if margin_bytes < 0 or min_offer_bytes <= 0:
+            raise ValueError("margin_bytes must be >= 0 and min_offer_bytes > 0")
+        self.margin_bytes = margin_bytes
+        self.min_offer_bytes = min_offer_bytes
+
+    def decide(self, stats: EngineStats, donated_bytes: int) -> Decision:
+        spare = stats.offerable_bytes - self.margin_bytes
+        if spare >= self.min_offer_bytes:
+            return Decision.offer(spare)
+        return Decision.hold()

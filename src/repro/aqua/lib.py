@@ -1,0 +1,309 @@
+"""AQUA-LIB: the per-GPU memory-management library (§3, §B).
+
+One :class:`AquaLib` instance runs on every GPU of a multi-GPU server.
+It exposes:
+
+* a **northbound interface** to the serving engine —
+  :meth:`to_responsive_tensor` / :meth:`respond` on consumers, and
+  :meth:`inform_stats` / :meth:`complete_offer` on producers;
+* a **southbound interface** to the central coordinator — REST calls
+  that register memory offers, allocation requests and reclaims.
+
+The library is deliberately engine-agnostic: engines report load via
+``inform_stats(...)`` and call ``respond()`` at inference-iteration
+boundaries; AQUA-LIB does everything else (placement, migration,
+accounting), which is what makes the integration with vLLM and FlexGen
+require no surgical changes (§B.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Hashable, Optional
+
+from repro.aqua.coordinator import DRAM, Coordinator
+from repro.aqua.informers import Action, EngineStats
+from repro.aqua.tensor import AquaTensor, Location
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.gpu import GPU
+    from repro.hardware.server import Server
+
+#: Pool reservation tag for memory a producer has donated to AQUA.
+AQUA_OFFER_TAG = "aqua-offer"
+
+
+class AquaLib:
+    """Per-GPU AQUA library instance.
+
+    Parameters
+    ----------
+    gpu:
+        The GPU this instance manages.
+    server:
+        The multi-GPU server (provides the interconnect and host DRAM).
+    coordinator:
+        The central coordinator shared by all instances.
+    informer:
+        Donate/reclaim policy for producer GPUs (``None`` for pure
+        consumers).
+    gather_enabled:
+        Whether scattered tensors are coalesced into one large copy via
+        AQUA's gather/scatter kernels (§5).  Disable to reproduce the
+        naive-offload ablation.
+    """
+
+    def __init__(
+        self,
+        gpu: "GPU",
+        server: "Server",
+        coordinator: Coordinator,
+        informer=None,
+        gather_enabled: bool = True,
+    ) -> None:
+        self.gpu = gpu
+        self.server = server
+        self.env = server.env
+        self.coordinator = coordinator
+        self.informer = informer
+        self.gather_enabled = gather_enabled
+        self.name = gpu.name
+        self.donated_bytes = 0
+        self.reclaim_pending = False
+        self.tensors: dict[int, AquaTensor] = {}
+        #: Cumulative time this consumer spent blocked in respond().
+        self.respond_blocked_time = 0.0
+        coordinator.devices[self.name] = gpu
+
+    # ==================================================================
+    # Southbound helpers
+    # ==================================================================
+    def _post(self, path: str, payload: dict) -> dict:
+        resp = self.coordinator.request("POST", path, payload)
+        if not resp.ok:
+            raise RuntimeError(f"coordinator POST {path} failed: {resp.body}")
+        return resp.body
+
+    def _get(self, path: str, payload: dict) -> dict:
+        resp = self.coordinator.request("GET", path, payload)
+        if not resp.ok:
+            raise RuntimeError(f"coordinator GET {path} failed: {resp.body}")
+        return resp.body
+
+    # ==================================================================
+    # Consumer northbound interface
+    # ==================================================================
+    def to_responsive_tensor(
+        self, nbytes: int, pieces: int = 1, tag: str = "aqua"
+    ) -> AquaTensor:
+        """Allocate an offloaded tensor (the paper's
+        ``to_responsive_tensor(torch_tensor)``).
+
+        The coordinator picks the location: the paired producer GPU when
+        its lease has room, host DRAM otherwise — the model never learns
+        which (§3).
+        """
+        tensor = AquaTensor(self, nbytes, pieces=pieces, tag=tag)
+        self.allocate_aqua_tensor(tensor)
+        return tensor
+
+    def respond(self) -> Generator:
+        """Perform pending tensor migrations at an iteration boundary.
+
+        The paper's ``aqua.respond()``: the serving engine invokes this
+        between inference iterations, which is the only point where
+        offloaded tensors may safely change location.  Migrations to
+        DRAM (reclaims) and opportunistic upgrades onto the producer
+        both happen here; the engine blocks for the duration.
+        """
+        started = self.env.now
+        body = self._get("/respond", {"consumer": self.name})
+        migrations: dict[int, str] = body["migrations"]
+        for tensor_id, target in migrations.items():
+            tensor = self.tensors.get(tensor_id)
+            if tensor is None or tensor.freed:
+                continue
+            yield from self._migrate(tensor, target)
+        self.respond_blocked_time += self.env.now - started
+
+    def free_tensor(self, tensor: AquaTensor) -> None:
+        """Release an AQUA tensor (engine-facing alias of ``tensor.free()``)."""
+        tensor.free()
+
+    # ------------------------------------------------------------------
+    # The consumer control-loop interface, exactly as named in §B.1.
+    # respond() composes these three calls; they are also exposed
+    # directly so alternative policies can drive migrations themselves.
+    # ------------------------------------------------------------------
+    def allocate_aqua_tensor(self, tensor: AquaTensor) -> str:
+        """Decide the location of a newly created tensor (§B.1).
+
+        Returns the location name (a producer GPU or ``"dram"``) and
+        performs the placement accounting.  Prefer
+        :meth:`to_responsive_tensor`, which builds the tensor and calls
+        this for you.
+        """
+        body = self._post(
+            "/allocate",
+            {"consumer": self.name, "tensor_id": tensor.id, "nbytes": tensor.nbytes},
+        )
+        self._account_placement(tensor, body["location"])
+        self.tensors[tensor.id] = tensor
+        return body["location"]
+
+    def get_tensors_to_move(self) -> dict[int, str]:
+        """Pending migrations at this iteration boundary (§B.1).
+
+        Maps tensor id to target location; forced reclaims first, then
+        opportunistic upgrades onto the paired producer.
+        """
+        return dict(self._get("/respond", {"consumer": self.name})["migrations"])
+
+    def done_moving_tensors(self, moves: dict[int, str]) -> None:
+        """Confirm completed migrations to the coordinator (§B.1).
+
+        :meth:`respond` performs the byte movement itself; callers
+        driving their own data plane use this to publish the outcome.
+        """
+        for tensor_id, location in moves.items():
+            self._post("/moved", {"tensor_id": tensor_id, "location": location})
+
+    @property
+    def offloaded_fast_bytes(self) -> int:
+        """Bytes of this consumer's tensors on the NVLink fast path."""
+        return sum(t.nbytes for t in self.tensors.values() if t.on_fast_path)
+
+    @property
+    def offloaded_dram_bytes(self) -> int:
+        return sum(
+            t.nbytes
+            for t in self.tensors.values()
+            if not t.freed and not t.on_fast_path
+        )
+
+    # ==================================================================
+    # Producer northbound interface
+    # ==================================================================
+    def inform_stats(self, stats: EngineStats) -> int:
+        """Report engine load; returns the memory delta for the engine.
+
+        Mirrors the paper's ``inform_stats(...)`` contract: the return
+        value is *positive* when the engine may take memory back (grow
+        its inference-context region), *negative* when the engine should
+        release that many bytes and donate them (followed by
+        :meth:`complete_offer`), and zero otherwise.
+        """
+        if self.reclaim_pending:
+            body = self._get("/reclaim_status", {"producer": self.name})
+            if body["done"]:
+                return self._finish_reclaim()
+            return 0
+        if self.informer is None:
+            return 0
+        decision = self.informer.decide(stats, self.donated_bytes)
+        if decision.action is Action.OFFER:
+            return -decision.nbytes
+        if decision.action is Action.RECLAIM and self.donated_bytes > 0:
+            body = self._post("/reclaim_request", {"producer": self.name})
+            if body["done"]:
+                return self._finish_reclaim()
+            self.reclaim_pending = True
+            return 0
+        return 0
+
+    def complete_offer(self, nbytes: int) -> None:
+        """The engine released ``nbytes`` of HBM; lease them to AQUA."""
+        if nbytes <= 0:
+            raise ValueError(f"offer must be positive, got {nbytes}")
+        self.gpu.hbm.reserve(AQUA_OFFER_TAG, nbytes)
+        self._post("/lease", {"producer": self.name, "nbytes": nbytes})
+        self.donated_bytes += nbytes
+
+    def _finish_reclaim(self) -> int:
+        """All consumer tensors evacuated: take the donation back."""
+        reclaimed = self.donated_bytes
+        if reclaimed > 0:
+            self.gpu.hbm.release(AQUA_OFFER_TAG)
+        self.donated_bytes = 0
+        self.reclaim_pending = False
+        return reclaimed
+
+    # ==================================================================
+    # Placement accounting and data-plane moves
+    # ==================================================================
+    def _device_of(self, location: str) -> Hashable:
+        if location == DRAM:
+            return self.server.dram
+        return self.coordinator.devices[location]
+
+    def _account_placement(self, tensor: AquaTensor, location: str) -> None:
+        """Point a tensor at its (new) location and fix pool accounting."""
+        if location == DRAM:
+            self.server.dram.pool.reserve(tensor.tag, tensor.nbytes)
+            tensor.location = Location.DRAM
+            tensor._device = self.server.dram
+        else:
+            producer_gpu = self.coordinator.devices[location]
+            # The bytes come out of the producer's standing donation.
+            producer_gpu.hbm.release(AQUA_OFFER_TAG, tensor.nbytes)
+            producer_gpu.hbm.reserve(tensor.tag, tensor.nbytes)
+            tensor.location = Location.PRODUCER
+            tensor._device = producer_gpu
+
+    def _release_placement(self, tensor: AquaTensor) -> None:
+        if tensor.location is Location.DRAM:
+            self.server.dram.pool.release(tensor.tag)
+        elif tensor.location is Location.PRODUCER:
+            producer_gpu = tensor._device
+            producer_gpu.hbm.release(tensor.tag)
+            producer_gpu.hbm.reserve(AQUA_OFFER_TAG, tensor.nbytes)
+
+    def _free_tensor(self, tensor: AquaTensor) -> None:
+        self._release_placement(tensor)
+        self._post("/free", {"tensor_id": tensor.id})
+        self.tensors.pop(tensor.id, None)
+
+    def _migrate(self, tensor: AquaTensor, target: str) -> Generator:
+        """Move a tensor's bytes to ``target`` and update all books."""
+        current = DRAM if tensor.location is Location.DRAM else tensor._device.name
+        if current == target:
+            return
+        # Reserve the destination with the coordinator first; a 409 means
+        # the lease vanished between /respond and now — stay put.
+        resp = self.coordinator.request(
+            "POST", "/moved", {"tensor_id": tensor.id, "location": target}
+        )
+        if not resp.ok:
+            return
+        src_device = tensor._device
+        self._release_placement(tensor)
+        self._account_placement(tensor, target)
+        # Offloaded payloads are stored gathered, so migration moves one
+        # contiguous buffer.
+        yield from self.server.transfer(src_device, tensor._device, tensor.nbytes)
+
+    def _move_payload(
+        self,
+        tensor: AquaTensor,
+        src: Hashable,
+        dst: Hashable,
+        nbytes: Optional[int] = None,
+        pieces: Optional[int] = None,
+    ) -> Generator:
+        """Data-plane copy used by ``AquaTensor.fetch``/``flush``."""
+        payload = tensor.nbytes if nbytes is None else min(nbytes, tensor.nbytes)
+        if payload <= 0:
+            return
+        scatter = tensor.pieces if pieces is None else pieces
+        effective_pieces = 1 if self.gather_enabled else scatter
+        if self.gather_enabled and scatter > 1:
+            # Gather/scatter staging: one read + one write of the payload
+            # through the consumer GPU's HBM (the custom CUDA kernels of §5).
+            staging = 2 * payload / self.gpu.spec.effective_hbm_bandwidth
+            yield self.env.timeout(staging)
+        yield from self.server.transfer(src, dst, payload, pieces=effective_pieces)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AquaLib {self.name} donated={self.donated_bytes / 2**30:.1f}GiB "
+            f"tensors={len(self.tensors)}>"
+        )

@@ -1,0 +1,73 @@
+"""A minimal in-process REST transport.
+
+The paper's coordinator "exposes a set of REST endpoints" (§3) that the
+per-GPU AQUA-LIB instances call over the southbound interface.  In this
+reproduction the HTTP stack is replaced by an in-process router with
+the same request/response shape (method + path + JSON-like payload),
+so endpoint semantics, status codes and payload schemas are preserved
+and testable without sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+Handler = Callable[[dict], "Response"]
+
+
+@dataclass
+class Response:
+    """An HTTP-like response: status code and JSON-like body."""
+
+    status: int
+    body: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @classmethod
+    def json(cls, body: dict[str, Any] | None = None, status: int = 200) -> "Response":
+        return cls(status=status, body=body or {})
+
+    @classmethod
+    def error(cls, message: str, status: int = 400) -> "Response":
+        return cls(status=status, body={"error": message})
+
+
+class RestRouter:
+    """Dispatches ``(method, path)`` requests to registered handlers."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[tuple[str, str], Handler] = {}
+
+    def route(self, method: str, path: str) -> Callable[[Handler], Handler]:
+        """Decorator registering ``handler`` for ``method path``."""
+
+        def register(handler: Handler) -> Handler:
+            key = (method.upper(), path)
+            if key in self._handlers:
+                raise ValueError(f"duplicate route {method} {path}")
+            self._handlers[key] = handler
+            return handler
+
+        return register
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> Response:
+        """Invoke the handler for ``method path`` with ``payload``.
+
+        Unknown routes return 404; handler exceptions become 500s, as a
+        real HTTP server would report them.
+        """
+        handler = self._handlers.get((method.upper(), path))
+        if handler is None:
+            return Response.error(f"no route {method.upper()} {path}", status=404)
+        try:
+            return handler(payload or {})
+        except Exception as exc:  # noqa: BLE001 - mapped to a 500 like a server
+            return Response.error(f"{type(exc).__name__}: {exc}", status=500)
+
+    @property
+    def routes(self) -> list[tuple[str, str]]:
+        return sorted(self._handlers)

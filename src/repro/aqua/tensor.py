@@ -1,0 +1,160 @@
+"""AQUA TENSORS: migratable offloaded tensors (§3, §5, §B).
+
+An :class:`AquaTensor` is allocated by a consumer GPU's AQUA-LIB but
+*lives* somewhere else — a paired producer GPU's spare HBM (reached
+over NVLink) or host DRAM as the fallback.  The model reads the tensor
+into local HBM before an inference iteration (:meth:`fetch`) and writes
+updates back afterwards (:meth:`flush`); migrations between locations
+happen only at iteration boundaries, driven by
+:meth:`~repro.aqua.lib.AquaLib.respond`.
+
+The ``pieces`` attribute models the scatter problem of §5: vLLM keeps a
+prompt's KV values fragmented across many per-layer block tensors, and
+copying them one-by-one wastes NVLink bandwidth (Figure 3a).  With
+``gather_enabled`` AQUA coalesces the pieces into one large staged copy
+using its custom CUDA gather/scatter kernels; the staging pass costs
+two HBM traversals, which the time model includes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import count
+from typing import TYPE_CHECKING, Generator, Hashable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.aqua.lib import AquaLib
+
+_AQUA_TENSOR_IDS = count()
+
+
+class TensorPointer:
+    """A point-in-time reference to an AQUA tensor's physical storage.
+
+    Valid until the next iteration boundary; :attr:`stale` turns True
+    once the tensor has migrated (or been freed) since the pointer was
+    taken.
+    """
+
+    __slots__ = ("tensor", "device", "location")
+
+    def __init__(self, tensor: "AquaTensor", device, location) -> None:
+        self.tensor = tensor
+        self.device = device
+        self.location = location
+
+    @property
+    def stale(self) -> bool:
+        return self.tensor.freed or self.tensor._device is not self.device
+
+    def __repr__(self) -> str:
+        where = getattr(self.device, "name", self.location)
+        flag = " STALE" if self.stale else ""
+        return f"<TensorPointer {self.tensor.tag} -> {where}{flag}>"
+
+
+class Location(str, Enum):
+    """Where an AQUA tensor's bytes currently live."""
+
+    PRODUCER = "producer-gpu"
+    DRAM = "dram"
+    FREED = "freed"
+
+
+class AquaTensor:
+    """One offloaded tensor managed by AQUA-LIB.
+
+    Construct via :meth:`AquaLib.to_responsive_tensor`, not directly.
+
+    Attributes
+    ----------
+    nbytes:
+        Payload size.
+    pieces:
+        Number of separate small buffers the payload is scattered
+        across at the model level (1 = already contiguous).
+    """
+
+    def __init__(self, lib: "AquaLib", nbytes: int, pieces: int = 1, tag: str = "aqua") -> None:
+        if nbytes <= 0:
+            raise ValueError(f"tensor size must be positive, got {nbytes}")
+        if pieces < 1:
+            raise ValueError(f"pieces must be >= 1, got {pieces}")
+        self.id = next(_AQUA_TENSOR_IDS)
+        self.lib = lib
+        self.nbytes = int(nbytes)
+        self.pieces = pieces
+        self.tag = f"{tag}#{self.id}"
+        self.location: Location = Location.DRAM
+        self._device: Optional[Hashable] = None  # producer GPU or HostDRAM
+        self.fetch_count = 0
+        self.flush_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def device(self) -> Optional[Hashable]:
+        """The device currently holding the offloaded bytes."""
+        return self._device
+
+    def to_torch_tensor(self) -> "TensorPointer":
+        """Return the current pointer to the tensor's storage (§B).
+
+        The paper wraps PyTorch tensors and returns "an updated pointer
+        whenever it is accessed", because AQUA may migrate the storage
+        between accesses.  The returned pointer is valid only until the
+        next iteration boundary (the next ``aqua.respond()`` call);
+        holding it across a migration is the use-after-move hazard the
+        paper's design rules out.
+        """
+        if self.freed:
+            raise RuntimeError(f"to_torch_tensor on freed tensor {self.tag}")
+        return TensorPointer(tensor=self, device=self._device, location=self.location)
+
+    @property
+    def on_fast_path(self) -> bool:
+        """True when the tensor sits in a producer GPU's HBM."""
+        return self.location is Location.PRODUCER
+
+    @property
+    def freed(self) -> bool:
+        return self.location is Location.FREED
+
+    # ------------------------------------------------------------------
+    # Data-plane operations (simulation processes)
+    # ------------------------------------------------------------------
+    def fetch(self, nbytes: Optional[int] = None, pieces: Optional[int] = None) -> Generator:
+        """Copy (part of) the tensor's bytes into the consumer GPU's HBM.
+
+        Yield-from inside an engine process; the elapsed simulation time
+        is the NVLink/PCIe transfer plus (when gathering) the local HBM
+        staging pass.  ``nbytes``/``pieces`` default to the whole tensor;
+        engines that stream a window (FlexGen's layer-wise reads) pass
+        the window size.
+        """
+        if self.freed:
+            raise RuntimeError(f"fetch on freed tensor {self.tag}")
+        yield from self.lib._move_payload(
+            self, src=self._device, dst=self.lib.gpu, nbytes=nbytes, pieces=pieces
+        )
+        self.fetch_count += 1
+
+    def flush(self, nbytes: Optional[int] = None, pieces: Optional[int] = None) -> Generator:
+        """Copy (part of) the tensor's bytes from the consumer GPU back out."""
+        if self.freed:
+            raise RuntimeError(f"flush on freed tensor {self.tag}")
+        yield from self.lib._move_payload(
+            self, src=self.lib.gpu, dst=self._device, nbytes=nbytes, pieces=pieces
+        )
+        self.flush_count += 1
+
+    def free(self) -> None:
+        """Release the tensor everywhere.  Idempotent."""
+        if self.freed:
+            return
+        self.lib._free_tensor(self)
+        self.location = Location.FREED
+        self._device = None
+
+    def __repr__(self) -> str:
+        where = getattr(self._device, "name", self.location.value)
+        return f"<AquaTensor {self.tag} {self.nbytes}B at {where}>"

@@ -1,0 +1,19 @@
+"""Experiment harness: rigs, figure reproductions and reports.
+
+Every table and figure of the paper's evaluation has a function in
+:mod:`repro.experiments.figures` that builds the corresponding rig
+(server + engines + AQUA), runs the workload, and returns the series
+the paper plots.  The benchmark suite under ``benchmarks/`` calls these
+functions and prints the rows; ``EXPERIMENTS.md`` records the outcomes.
+"""
+
+from repro.experiments.harness import ConsumerRig, build_consumer_rig, drain
+from repro.experiments.report import format_table, summarize_requests
+
+__all__ = [
+    "ConsumerRig",
+    "build_consumer_rig",
+    "drain",
+    "format_table",
+    "summarize_requests",
+]

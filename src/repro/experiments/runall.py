@@ -1,0 +1,185 @@
+"""Run every paper experiment and persist the results.
+
+``aqua-repro all --out results/`` produces one JSON file per figure
+plus a markdown summary — the machine-readable companion to
+EXPERIMENTS.md, regenerable after any change to the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.experiments import figures as F
+from repro.serving.metrics import percentile
+
+
+def _fig01() -> dict:
+    result = F.fig01_motivation(rate=5.0, count=60)
+    return {
+        label: data["summary"] for label, data in result.items()
+    }
+
+
+def _fig02() -> dict:
+    return F.fig02_contention()
+
+
+def _fig03() -> dict:
+    return {
+        "bandwidth": F.fig03a_interconnect_bandwidth()["rows"],
+        "sharing": F.fig03b_sharing_impact(duration=60.0),
+    }
+
+
+def _fig07() -> dict:
+    return F.fig07_longprompt(duration=60.0)
+
+
+def _fig08() -> dict:
+    result = F.fig08_lora(rate=8.0, count=100)
+    return {label: data["summary"] for label, data in result.items()}
+
+
+def _fig09() -> dict:
+    result = F.fig09_cfs(rates=(2.0, 5.0), count=50)
+    return {
+        str(rate): {label: data["summary"] for label, data in systems.items()}
+        for rate, systems in result.items()
+    }
+
+
+def _fig10() -> dict:
+    result = F.fig10_elastic()
+    return {
+        "consumer_tokens_total": result["consumer_tokens_total"],
+        "free_memory_gib": result["free_memory_gib"][::10],
+        "phases": result["phases"],
+    }
+
+
+def _fig11() -> dict:
+    result = F.fig11_producer_overhead(end=120.0)
+    return {
+        label: {
+            "count": len(rcts),
+            "p50": percentile(rcts, 50) if rcts else None,
+            "p95": percentile(rcts, 95) if rcts else None,
+        }
+        for label, rcts in result.items()
+    }
+
+
+def _fig12() -> dict:
+    result = F.fig12_tensor_size(count=100)
+    return {
+        size: {
+            "baseline": data["baseline"]["summary"],
+            "aqua": data["aqua"]["summary"],
+            "saved": data["rct_mean_saved"],
+        }
+        for size, data in result.items()
+    }
+
+
+def _fig13() -> dict:
+    result = F.fig13_chatbot(n_users=25, turns=4)
+    return {label: data["summary"] for label, data in result.items()}
+
+
+def _fig14() -> dict:
+    return F.fig14_placer_convergence(gpu_counts=(16, 32, 64))
+
+
+def _fig15() -> dict:
+    result = F.fig15_llm_producer(rates=(2.0,), count=50)
+    return {label: data["summary"] for label, data in result[2.0].items()}
+
+
+def _fig16() -> dict:
+    result = F.fig16_sd_producer(rates=(2.0,), count=50)
+    return {label: data["summary"] for label, data in result[2.0].items()}
+
+
+def _fig17() -> dict:
+    result = F.fig17_nvswitch_cfs(rates=(2.0,), count=50)
+    return {label: data["summary"] for label, data in result[2.0].items()}
+
+
+def _fig18() -> dict:
+    return F.fig18_nvswitch_stress(duration=60.0)
+
+
+def _tables() -> dict:
+    return {
+        "table1": F.table1_deficit_jobs(),
+        "table2": F.table2_excess_llm_jobs(),
+        "table3": F.table3_producer_jobs(),
+    }
+
+
+def _e2e() -> dict:
+    result = F.e2e_cluster_placement()
+    return {
+        split: {
+            "pairs": data["pairs"],
+            "unmatched": data["unmatched"],
+            "solve_seconds": data["solve_seconds"],
+        }
+        for split, data in result.items()
+    }
+
+
+EXPERIMENTS: dict[str, Callable[[], dict]] = {
+    "fig01": _fig01,
+    "fig02": _fig02,
+    "fig03": _fig03,
+    "fig07": _fig07,
+    "fig08": _fig08,
+    "fig09": _fig09,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+    "fig17": _fig17,
+    "fig18": _fig18,
+    "tables": _tables,
+    "e2e": _e2e,
+}
+
+
+def run_all(
+    out_dir: str,
+    only: Optional[list[str]] = None,
+    progress: Callable[[str], None] = print,
+) -> dict:
+    """Run the selected experiments, writing one JSON file each.
+
+    Returns a manifest mapping experiment name to output path and
+    wall-clock seconds.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    names = only or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    manifest = {}
+    for name in names:
+        progress(f"running {name}...")
+        started = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - started
+        path = out / f"{name}.json"
+        with open(path, "w") as f:
+            json.dump(result, f, indent=1, default=str)
+        manifest[name] = {"path": str(path), "seconds": round(elapsed, 2)}
+    with open(out / "manifest.json", "w") as f:
+        json.dump(manifest, f, indent=1)
+    progress(f"wrote {len(manifest)} result files to {out}/")
+    return manifest

@@ -1,0 +1,82 @@
+"""Replication statistics: run experiments over seeds, report spread.
+
+The paper reports single runs; a simulation can afford replicates.
+These helpers run an experiment function across seeds and summarize
+each metric as mean +/- standard deviation, so the benchmark assertions
+can target the mean rather than one lucky draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class Spread:
+    """Mean and sample standard deviation of one metric."""
+
+    mean: float
+    std: float
+    n: int
+
+    @property
+    def stderr(self) -> float:
+        return self.std / math.sqrt(self.n) if self.n > 0 else float("nan")
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} +/- {self.std:.2g} (n={self.n})"
+
+
+def mean_std(values: Sequence[float]) -> Spread:
+    """Sample mean and standard deviation (ddof=1).
+
+    Raises
+    ------
+    ValueError
+        On an empty input.
+    """
+    if not values:
+        raise ValueError("mean_std of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Spread(mean=mean, std=0.0, n=1)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return Spread(mean=mean, std=math.sqrt(var), n=n)
+
+
+def replicate(
+    experiment: Callable[[int], dict], seeds: Sequence[int]
+) -> list[dict]:
+    """Run ``experiment(seed)`` for every seed and collect the results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [experiment(seed) for seed in seeds]
+
+
+def summarize_replicates(
+    results: Sequence[dict], keys: Sequence[str]
+) -> dict[str, Spread]:
+    """Per-key spread across replicate result dicts.
+
+    Missing keys in any replicate raise, to catch silently divergent
+    runs.
+    """
+    out = {}
+    for key in keys:
+        values = []
+        for i, result in enumerate(results):
+            if key not in result:
+                raise KeyError(f"replicate {i} is missing metric {key!r}")
+            values.append(float(result[key]))
+        out[key] = mean_std(values)
+    return out
+
+
+def coefficient_of_variation(spread: Spread) -> float:
+    """std/mean — a scale-free stability measure."""
+    if spread.mean == 0:
+        return float("inf") if spread.std else 0.0
+    return abs(spread.std / spread.mean)

@@ -1,0 +1,72 @@
+"""Parameter sweeps over the scheduler comparison.
+
+The paper evaluates two request rates (2 and 5 req/s); this module
+generalizes that to a sweep, exposing where the trade-offs cross over:
+at low rates all schedulers look alike, in the mid-range CFS's TTFT win
+appears while its DRAM variant pays the largest RCT penalty, and at
+saturation every scheduler's queue grows without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.figures import run_scheduler_comparison
+
+
+@dataclass
+class SweepPoint:
+    """Scheduler comparison at one request rate."""
+
+    rate: float
+    summaries: dict[str, dict] = field(default_factory=dict)
+
+    def metric(self, system: str, key: str) -> float:
+        return self.summaries[system].get(key, float("nan"))
+
+    def ttft_gain(self, system: str = "aqua") -> float:
+        """vLLM TTFT p95 over the system's TTFT p95 (bigger = better)."""
+        return self.metric("vllm", "ttft_p95") / self.metric(system, "ttft_p95")
+
+    def rct_penalty(self, system: str) -> float:
+        """System RCT mean over vLLM's (1.0 = free fairness)."""
+        return self.metric(system, "rct_mean") / self.metric("vllm", "rct_mean")
+
+
+def sweep_request_rate(
+    rates: Sequence[float] = (1.0, 2.0, 4.0, 6.0),
+    count: int = 40,
+    seed: int = 0,
+    **kwargs,
+) -> list[SweepPoint]:
+    """Run the vLLM / CFS-DRAM / AQUA comparison across request rates."""
+    points = []
+    for rate in rates:
+        systems = run_scheduler_comparison(rate=rate, count=count, seed=seed, **kwargs)
+        points.append(
+            SweepPoint(
+                rate=rate,
+                summaries={
+                    label: data["summary"] for label, data in systems.items()
+                },
+            )
+        )
+    return points
+
+
+def sweep_rows(points: Sequence[SweepPoint]) -> list[list]:
+    """Tabular view of a sweep (for reports and the CLI)."""
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                p.rate,
+                p.metric("vllm", "ttft_p95"),
+                p.metric("cfs-dram", "ttft_p95"),
+                p.metric("aqua", "ttft_p95"),
+                p.rct_penalty("cfs-dram"),
+                p.rct_penalty("aqua"),
+            ]
+        )
+    return rows

@@ -1,0 +1,54 @@
+"""Hardware substrate: GPUs, interconnects, servers and clusters.
+
+This package models the machines the paper evaluates on — servers with
+2 or 8 NVIDIA A100-80G GPUs connected by point-to-point NVLink or an
+NVSwitch fabric, host DRAM reachable over PCIe — as objects in the
+discrete-event simulation.  The central piece is the link transfer-time
+model (latency + size/peak-bandwidth), which reproduces the measured
+size-dependent effective bandwidth of Figure 3a: NVLink only approaches
+its peak for multi-megabyte transfers.
+"""
+
+from repro.hardware.cluster import Cluster
+from repro.hardware.dma import Transfer, TransferStats
+from repro.hardware.gpu import GPU, HostDRAM, MemoryPool, OutOfDeviceMemory
+from repro.hardware.interconnect import Channel, Interconnect, Route
+from repro.hardware.server import Server
+from repro.hardware.specs import (
+    A100_80G,
+    H100_80G,
+    NVLINK3_P2P,
+    NVLINK4_P2P,
+    NVSWITCH_A100,
+    PCIE_GEN4_X16,
+    PCIE_GEN5_X16,
+    GPUSpec,
+    LinkSpec,
+    effective_bandwidth,
+    transfer_time,
+)
+
+__all__ = [
+    "A100_80G",
+    "Channel",
+    "Cluster",
+    "GPU",
+    "GPUSpec",
+    "H100_80G",
+    "HostDRAM",
+    "Interconnect",
+    "LinkSpec",
+    "MemoryPool",
+    "NVLINK3_P2P",
+    "NVLINK4_P2P",
+    "NVSWITCH_A100",
+    "OutOfDeviceMemory",
+    "PCIE_GEN4_X16",
+    "PCIE_GEN5_X16",
+    "Route",
+    "Server",
+    "Transfer",
+    "TransferStats",
+    "effective_bandwidth",
+    "transfer_time",
+]

@@ -1,0 +1,130 @@
+"""Clusters of multi-GPU servers.
+
+The paper's end-to-end evaluation (§6.1) uses a cluster of eight 2-GPU
+servers; AQUA-PLACER maps models onto GPUs cluster-wide while AQUA-LIB
+offloads memory strictly *within* a server's fast interconnect.
+
+Servers can optionally be joined by a datacenter RDMA fabric
+(``rdma_link``), which lets experiments quantify *why* AQUA restricts
+offloads to the scale-up domain: a 200 Gb/s NIC delivers ~25 GB/s —
+PCIe-class, an order of magnitude below NVLink — so cross-server GPU
+memory is no faster than local host DRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.hardware.gpu import GPU
+from repro.hardware.server import Server
+from repro.hardware.specs import A100_80G, GB, PCIE_GEN4_X16, GPUSpec, LinkSpec
+from repro.sim import Environment
+
+#: A 200 Gb/s RDMA NIC per server: ~25 GB/s payload bandwidth, with
+#: microseconds of network latency on top of the PCIe hop.
+RDMA_200G = LinkSpec(name="RDMA-200G", peak_bandwidth=25 * GB, latency=30e-6)
+
+
+class Cluster:
+    """A fleet of identical multi-GPU servers.
+
+    Parameters mirror :class:`Server`; each server is named
+    ``server<i>``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        n_servers: int,
+        gpus_per_server: int = 2,
+        topology: str = "p2p",
+        gpu_spec: GPUSpec = A100_80G,
+        gpu_link: Optional[LinkSpec] = None,
+        pcie_link: LinkSpec = PCIE_GEN4_X16,
+        rdma_link: Optional[LinkSpec] = None,
+    ) -> None:
+        if n_servers < 1:
+            raise ValueError(f"n_servers must be >= 1, got {n_servers}")
+        self.env = env
+        self.rdma_link = rdma_link
+        self.servers = [
+            Server(
+                env,
+                n_gpus=gpus_per_server,
+                topology=topology,
+                gpu_spec=gpu_spec,
+                gpu_link=gpu_link,
+                pcie_link=pcie_link,
+                name=f"server{i}",
+            )
+            for i in range(n_servers)
+        ]
+        if rdma_link is not None:
+            self._wire_fabric(rdma_link)
+
+    def _wire_fabric(self, rdma_link: LinkSpec) -> None:
+        """Join every server pair through per-server RDMA NICs.
+
+        A cross-server GPU-to-GPU route traverses the source GPU's PCIe
+        lane, the source NIC's egress, and the destination NIC's
+        ingress — which is why it can never beat the local DRAM path.
+        Routes are added to the *source* server's interconnect so
+        ``Server.transfer`` works transparently across servers.
+        """
+        nics = {}
+        for server in self.servers:
+            ic = server.interconnect
+            nics[server.name] = (
+                ic.add_channel(f"{server.name}:rdma-egress", rdma_link),
+                ic.add_channel(f"{server.name}:rdma-ingress", rdma_link),
+            )
+        for src in self.servers:
+            for dst in self.servers:
+                if src is dst:
+                    continue
+                ingress_name = f"{dst.name}:rdma-ingress"
+                egress_name = f"{src.name}:rdma-egress"
+                for src_gpu in src.gpus:
+                    pcie_up = f"{src.name}:pcie-up:gpu{src_gpu.index}"
+                    hops = [pcie_up, egress_name, ingress_name]
+                    for dst_gpu in dst.gpus:
+                        # Register the route in both endpoints'
+                        # interconnects (sharing the same channel
+                        # objects, so contention is global) — either
+                        # server's ``transfer`` can then drive it.
+                        for ic in (src.interconnect, dst.interconnect):
+                            for name in hops:
+                                if name not in ic.channels:
+                                    owner = (
+                                        src.interconnect
+                                        if name in src.interconnect.channels
+                                        else dst.interconnect
+                                    )
+                                    ic.channels[name] = owner.channels[name]
+                            ic.add_route(src_gpu, dst_gpu, hops)
+
+    @property
+    def gpus(self) -> list[GPU]:
+        """All GPUs in the cluster, server-major order."""
+        return [gpu for server in self.servers for gpu in server.gpus]
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+    def server_of(self, gpu: GPU) -> Server:
+        """The server hosting ``gpu``."""
+        for server in self.servers:
+            if gpu in server.gpus:
+                return server
+        raise LookupError(f"{gpu!r} is not part of this cluster")
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self.servers)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __repr__(self) -> str:
+        per = len(self.servers[0].gpus) if self.servers else 0
+        return f"<Cluster servers={len(self.servers)} gpus/server={per}>"

@@ -1,0 +1,147 @@
+"""DMA transfers over interconnect routes.
+
+A :class:`Transfer` is a simulation process that holds every channel on
+its route for the duration of the copy.  Channels are acquired in a
+global deterministic order (by channel name) so that two transfers with
+overlapping routes can never deadlock.
+
+Copies consume (a little) compute on both endpoint GPUs: while a
+transfer is in flight the endpoint GPUs report copy activity, which
+dilates concurrent compute kernels by ``GPUSpec.copy_interference``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Hashable, Optional
+
+from repro.hardware.gpu import GPU
+from repro.hardware.interconnect import Interconnect, Route
+from repro.sim import AllOf, Environment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+@dataclass
+class TransferStats:
+    """Aggregate statistics of completed transfers (for reports)."""
+
+    count: int = 0
+    bytes_total: float = 0.0
+    busy_time: float = 0.0
+    per_route: dict[str, float] = field(default_factory=dict)
+
+    def record(self, route_name: str, nbytes: float, duration: float) -> None:
+        self.count += 1
+        self.bytes_total += nbytes
+        self.busy_time += duration
+        self.per_route[route_name] = self.per_route.get(route_name, 0.0) + nbytes
+
+
+class Transfer:
+    """A single DMA copy of ``nbytes`` from ``src`` to ``dst``.
+
+    Parameters
+    ----------
+    env, interconnect:
+        Simulation context and server wiring.
+    src, dst:
+        Device identifiers known to the interconnect (GPU / HostDRAM).
+    nbytes:
+        Payload size.  A transfer of zero bytes completes immediately.
+    pieces:
+        Number of separate buffers the payload is scattered across.
+        Each piece pays the route's setup latency — this is how naive
+        per-tensor offloading of small KV buffers loses NVLink bandwidth
+        (the motivation for AQUA's gather/scatter batching, §5).
+    stats:
+        Optional aggregate collector.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        interconnect: Interconnect,
+        src: Hashable,
+        dst: Hashable,
+        nbytes: float,
+        pieces: int = 1,
+        stats: Optional[TransferStats] = None,
+    ) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if pieces < 1:
+            raise ValueError(f"pieces must be >= 1, got {pieces}")
+        self.env = env
+        self.interconnect = interconnect
+        self.src = src
+        self.dst = dst
+        self.nbytes = float(nbytes)
+        self.pieces = pieces
+        self.stats = stats
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def _endpoints(self) -> list[GPU]:
+        return [dev for dev in (self.src, self.dst) if isinstance(dev, GPU)]
+
+    def wire_time(self, route: Route) -> float:
+        """Uncontended on-the-wire time, accounting for scatter pieces."""
+        if self.nbytes == 0:
+            return 0.0
+        piece = self.nbytes / self.pieces
+        return self.pieces * route.transfer_time(piece)
+
+    def run(self) -> Generator:
+        """Execute the copy; use as ``yield from transfer.run()``."""
+        self.started_at = self.env.now
+        if self.nbytes == 0:
+            self.finished_at = self.env.now
+            return self
+
+        route = self.interconnect.route(self.src, self.dst)
+        # Deadlock-free acquisition: all requests issued together, granted
+        # in each channel's FIFO order, and we proceed once all are held.
+        ordered = sorted(route.channels, key=lambda ch: ch.name)
+        requests = [ch.engine.request() for ch in ordered]
+        try:
+            yield AllOf(self.env, requests)
+            duration = self.wire_time(route)
+            for gpu in self._endpoints():
+                gpu.active_copies += 1
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                for gpu in self._endpoints():
+                    gpu.active_copies -= 1
+            for channel in ordered:
+                channel.record(self.nbytes / len(ordered))
+            self.finished_at = self.env.now
+            if self.stats is not None:
+                route_name = f"{getattr(self.src, 'name', self.src)}->" f"{getattr(self.dst, 'name', self.dst)}"
+                self.stats.record(route_name, self.nbytes, duration)
+        finally:
+            for channel, request in zip(ordered, requests):
+                channel.engine.release(request)
+        return self
+
+
+def copy(
+    env: Environment,
+    interconnect: Interconnect,
+    src: Hashable,
+    dst: Hashable,
+    nbytes: float,
+    pieces: int = 1,
+    stats: Optional[TransferStats] = None,
+) -> Generator:
+    """Convenience wrapper: ``yield from copy(env, ic, a, b, n)``."""
+    transfer = Transfer(env, interconnect, src, dst, nbytes, pieces=pieces, stats=stats)
+    return (yield from transfer.run())

@@ -1,0 +1,191 @@
+"""Paged KV-cache accounting in the style of vLLM's paged attention.
+
+Sequences own lists of fixed-size token blocks.  A sequence can be
+*resident* (blocks on the GPU) or *swapped out* (its KV bytes live in an
+offload target — host DRAM for baseline vLLM, a producer GPU's HBM for
+AQUA).  The cache tracks only placement and sizes; byte movement is the
+serving engine's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.memory.allocator import AllocationError, BlockAllocator
+from repro.models.llm import LLMSpec
+
+
+class Residency(str, Enum):
+    RESIDENT = "resident"
+    SWAPPED = "swapped"
+
+
+@dataclass
+class SequenceState:
+    """KV bookkeeping for one sequence."""
+
+    seq_id: int
+    tokens: int
+    blocks: list[int] = field(default_factory=list)
+    residency: Residency = Residency.RESIDENT
+
+    @property
+    def is_resident(self) -> bool:
+        return self.residency is Residency.RESIDENT
+
+
+class PagedKVCache:
+    """Block-granular KV cache for one model on one GPU.
+
+    Parameters
+    ----------
+    model:
+        The LLM whose KV geometry sizes the blocks.
+    allocator:
+        Backing block allocator (its ``block_bytes`` must equal
+        ``model.kv_bytes_per_token * block_tokens``).
+    block_tokens:
+        Tokens per block (vLLM's default is 16).
+    """
+
+    def __init__(
+        self,
+        model: LLMSpec,
+        allocator: BlockAllocator,
+        block_tokens: int = 16,
+    ) -> None:
+        if block_tokens < 1:
+            raise ValueError(f"block_tokens must be >= 1, got {block_tokens}")
+        expected = model.kv_bytes_per_token * block_tokens
+        if allocator.block_bytes != expected:
+            raise ValueError(
+                f"allocator block size {allocator.block_bytes} != "
+                f"model block size {expected}"
+            )
+        self.model = model
+        self.allocator = allocator
+        self.block_tokens = block_tokens
+        self.sequences: dict[int, SequenceState] = {}
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` tokens of KV."""
+        if tokens < 0:
+            raise ValueError(f"negative token count {tokens}")
+        return -(-tokens // self.block_tokens)  # ceil division
+
+    def kv_bytes(self, seq: SequenceState) -> int:
+        """Exact KV bytes of a sequence (token granularity)."""
+        return self.model.kv_bytes(seq.tokens)
+
+    # ------------------------------------------------------------------
+    # Sequence lifecycle
+    # ------------------------------------------------------------------
+    def can_admit(self, tokens: int) -> bool:
+        """Whether a new sequence of ``tokens`` tokens fits right now."""
+        return self.allocator.can_allocate(self.blocks_for(tokens))
+
+    def admit(self, seq_id: int, tokens: int) -> SequenceState:
+        """Create a resident sequence with ``tokens`` tokens of KV."""
+        if seq_id in self.sequences:
+            raise ValueError(f"sequence {seq_id} already exists")
+        blocks = self.allocator.allocate(self.blocks_for(tokens))
+        state = SequenceState(seq_id=seq_id, tokens=tokens, blocks=blocks)
+        self.sequences[seq_id] = state
+        return state
+
+    def can_append(self, seq_id: int) -> bool:
+        """Whether one more token fits (a new block may be needed)."""
+        seq = self._resident(seq_id)
+        if seq.tokens % self.block_tokens != 0:
+            return True
+        return self.allocator.can_allocate(1)
+
+    def append_token(self, seq_id: int) -> None:
+        """Grow a resident sequence by one generated token."""
+        seq = self._resident(seq_id)
+        if seq.tokens % self.block_tokens == 0:
+            seq.blocks.extend(self.allocator.allocate(1))
+        seq.tokens += 1
+
+    def release(self, seq_id: int) -> None:
+        """Finish a sequence and free its blocks (if resident)."""
+        seq = self.sequences.pop(seq_id)
+        if seq.is_resident:
+            self.allocator.free(seq.blocks)
+        seq.blocks = []
+
+    # ------------------------------------------------------------------
+    # Swapping (context switching)
+    # ------------------------------------------------------------------
+    def swap_out(self, seq_id: int) -> int:
+        """Mark a sequence's KV as offloaded; returns bytes to move.
+
+        The freed blocks become available for other sequences; the
+        engine is responsible for actually copying the bytes to the
+        offload target before reusing them.
+        """
+        seq = self._resident(seq_id)
+        self.allocator.free(seq.blocks)
+        seq.blocks = []
+        seq.residency = Residency.SWAPPED
+        return self.kv_bytes(seq)
+
+    def can_swap_in(self, seq_id: int) -> bool:
+        seq = self._swapped(seq_id)
+        return self.allocator.can_allocate(self.blocks_for(seq.tokens))
+
+    def swap_in(self, seq_id: int) -> int:
+        """Bring a swapped sequence back; returns bytes to move."""
+        seq = self._swapped(seq_id)
+        seq.blocks = self.allocator.allocate(self.blocks_for(seq.tokens))
+        seq.residency = Residency.RESIDENT
+        return self.kv_bytes(seq)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_tokens(self) -> int:
+        return sum(s.tokens for s in self.sequences.values() if s.is_resident)
+
+    @property
+    def swapped_sequences(self) -> list[int]:
+        return [s.seq_id for s in self.sequences.values() if not s.is_resident]
+
+    @property
+    def resident_sequences(self) -> list[int]:
+        return [s.seq_id for s in self.sequences.values() if s.is_resident]
+
+    def scatter_pieces(self, seq_id: int) -> int:
+        """Number of distinct buffers holding a sequence's KV.
+
+        vLLM stores per-layer K and V tensors, each fragmented across
+        blocks — so a naive copy moves ``2 * layers * blocks`` small
+        buffers.  AQUA's gather kernel coalesces them into one (§5).
+        """
+        seq = self.sequences[seq_id]
+        blocks = max(1, self.blocks_for(seq.tokens))
+        return 2 * self.model.n_layers * blocks
+
+    # ------------------------------------------------------------------
+    def _resident(self, seq_id: int) -> SequenceState:
+        seq = self.sequences[seq_id]
+        if not seq.is_resident:
+            raise AllocationError(f"sequence {seq_id} is swapped out")
+        return seq
+
+    def _swapped(self, seq_id: int) -> SequenceState:
+        seq = self.sequences[seq_id]
+        if seq.is_resident:
+            raise AllocationError(f"sequence {seq_id} is resident")
+        return seq
+
+    def __repr__(self) -> str:
+        return (
+            f"<PagedKVCache seqs={len(self.sequences)} "
+            f"blocks={self.allocator.used_blocks}/{self.allocator.n_blocks}>"
+        )

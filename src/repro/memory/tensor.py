@@ -1,0 +1,95 @@
+"""Simulated tensors: sized buffers with a physical location.
+
+A :class:`SimTensor` stands in for a ``torch.Tensor``: it has a size, a
+device (a GPU, host DRAM, or ``None`` while unmaterialized), and
+reserves space in its device's memory pool while resident.  It carries
+no element data — only placement and size matter to the simulation.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Hashable, Optional
+
+from repro.hardware.gpu import GPU, HostDRAM, MemoryPool
+
+_TENSOR_IDS = count()
+
+
+def _pool_of(device: Hashable) -> Optional[MemoryPool]:
+    if isinstance(device, GPU):
+        return device.hbm
+    if isinstance(device, HostDRAM):
+        return device.pool
+    return None
+
+
+class SimTensor:
+    """A buffer of ``nbytes`` living on some device.
+
+    Parameters
+    ----------
+    nbytes:
+        Buffer size; must be positive.
+    device:
+        Initial location.  When the device has a memory pool, the
+        tensor reserves its bytes there until :meth:`free` or a
+        :meth:`relocate` moves it.
+    tag:
+        Reservation label in the device pool (for reports).
+    """
+
+    def __init__(
+        self,
+        nbytes: int,
+        device: Optional[Hashable] = None,
+        tag: str = "tensor",
+    ) -> None:
+        if nbytes <= 0:
+            raise ValueError(f"tensor size must be positive, got {nbytes}")
+        self.id = next(_TENSOR_IDS)
+        self.nbytes = int(nbytes)
+        self.tag = f"{tag}#{self.id}"
+        self._device: Optional[Hashable] = None
+        self._freed = False
+        if device is not None:
+            self.relocate(device)
+
+    @property
+    def device(self) -> Optional[Hashable]:
+        """Where the tensor currently lives (``None`` if unmaterialized)."""
+        return self._device
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def relocate(self, device: Hashable) -> None:
+        """Account the tensor on a new device (releasing the old one).
+
+        This is bookkeeping only — the actual byte movement is a DMA
+        :class:`~repro.hardware.dma.Transfer` performed by the caller.
+        """
+        if self._freed:
+            raise RuntimeError(f"cannot relocate freed tensor {self.tag}")
+        new_pool = _pool_of(device)
+        if new_pool is not None:
+            new_pool.reserve(self.tag, self.nbytes)
+        old_pool = _pool_of(self._device)
+        if old_pool is not None:
+            old_pool.release(self.tag)
+        self._device = device
+
+    def free(self) -> None:
+        """Release the tensor's memory.  Idempotent."""
+        if self._freed:
+            return
+        pool = _pool_of(self._device)
+        if pool is not None:
+            pool.release(self.tag)
+        self._device = None
+        self._freed = True
+
+    def __repr__(self) -> str:
+        where = getattr(self._device, "name", self._device)
+        return f"<SimTensor {self.tag} {self.nbytes}B on {where}>"

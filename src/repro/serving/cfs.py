@@ -1,0 +1,261 @@
+"""Completely fair scheduling of prompts (§5).
+
+Instead of batch-processing whichever prompts fit in memory, the CFS
+engine gives every live prompt time slices measured in generated
+tokens: each round it activates the prompts that have generated the
+*fewest* tokens so far (new arrivals first — which is what slashes
+TTFT), runs one slice, then context-switches.
+
+Context switching is the whole cost: the outgoing prompts' KV caches
+are written out of the GPU and the incoming ones read back.  With AQUA
+the contexts travel over NVLink as gathered AQUA TENSORS; the baseline
+writes them to host DRAM over PCIe.  The slice length trades fairness
+against switching overhead (ablated in the benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.serving.engine import LLMEngineBase
+from repro.serving.lora_manager import LoRACache
+from repro.serving.request import Request
+
+
+class CFSEngine(LLMEngineBase):
+    """Fair scheduler with swap-based context switching.
+
+    Parameters (beyond :class:`LLMEngineBase`)
+    ----------
+    slice_tokens:
+        Tokens each active prompt generates per slice (Figure 6 uses 5).
+    max_batch:
+        Maximum prompts active in one slice.
+    use_aqua:
+        Swap contexts through AQUA TENSORS (requires ``aqua_lib``);
+        otherwise through host DRAM over PCIe.
+    respond_every:
+        Slices between ``aqua.respond()`` calls.
+    """
+
+    def __init__(
+        self,
+        gpu,
+        server,
+        model,
+        slice_tokens: int = 5,
+        max_batch: int = 32,
+        use_aqua: bool = False,
+        respond_every: int = 2,
+        lora_cache: Optional[LoRACache] = None,
+        context_cache=None,
+        name: str = "cfs",
+        **kwargs,
+    ) -> None:
+        super().__init__(gpu, server, model, name=name, **kwargs)
+        if slice_tokens < 1:
+            raise ValueError(f"slice_tokens must be >= 1, got {slice_tokens}")
+        if use_aqua and self.aqua_lib is None:
+            raise ValueError("use_aqua requires an aqua_lib")
+        self.slice_tokens = slice_tokens
+        self.max_batch = max_batch
+        self.use_aqua = use_aqua
+        self.respond_every = respond_every
+        self.lora_cache = lora_cache
+        #: Optional :class:`~repro.serving.context_cache.ChatContextCache`
+        #: keeping finished conversations' KV offloaded between turns.
+        self.context_cache = context_cache
+        #: Requests admitted at least once but currently swapped out.
+        self.swapped: list[Request] = []
+        self._swap_tensors: dict[int, object] = {}
+        self._dram_tags: dict[int, int] = {}
+        self.context_switch_time = 0.0
+        self.slices_run = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _vruntime(self, request: Request) -> float:
+        """Virtual progress of a prompt; CFS serves the smallest first."""
+        return request.generated_tokens
+
+    def _candidates(self) -> list[Request]:
+        """All live prompts, least-virtual-progress first (the CFS order)."""
+        live = [*self.running, *self.swapped, *self.waiting]
+        return sorted(live, key=lambda r: (self._vruntime(r), r.arrival_time))
+
+    def _select_active(self) -> list[Request]:
+        """Fill the next slice's active set within KV capacity."""
+        active: list[Request] = []
+        budget = self.allocator.n_blocks
+        for request in self._candidates():
+            if len(active) >= self.max_batch:
+                break
+            need = self.kv.blocks_for(request.total_tokens + self.slice_tokens)
+            if need > budget:
+                continue
+            active.append(request)
+            budget -= need
+        return active
+
+    # ------------------------------------------------------------------
+    # Context switching
+    # ------------------------------------------------------------------
+    def _swap_out(self, request: Request) -> Generator:
+        nbytes = self.kv.swap_out(request.req_id)
+        pieces = 2 * self.model.n_layers * self.kv.blocks_for(request.total_tokens)
+        if self.use_aqua:
+            tensor = self.aqua_lib.to_responsive_tensor(
+                nbytes, pieces=pieces, tag=f"cfs-ctx-{request.req_id}"
+            )
+            yield from tensor.flush()
+            self._swap_tensors[request.req_id] = tensor
+        else:
+            self.server.dram.pool.reserve(f"{self.name}:ctx{request.req_id}", nbytes)
+            self._dram_tags[request.req_id] = nbytes
+            yield from self.server.transfer(self.gpu, self.server.dram, nbytes)
+        self.running.remove(request)
+        self.swapped.append(request)
+
+    def _swap_in(self, request: Request) -> Generator:
+        nbytes = self.kv.swap_in(request.req_id)
+        if self.use_aqua:
+            tensor = self._swap_tensors.pop(request.req_id)
+            yield from tensor.fetch()
+            tensor.free()
+        else:
+            yield from self.server.transfer(self.server.dram, self.gpu, nbytes)
+            self.server.dram.pool.release(f"{self.name}:ctx{request.req_id}")
+            self._dram_tags.pop(request.req_id, None)
+        self.swapped.remove(request)
+        self.running.append(request)
+
+    def _context_switch(self, active: list[Request]) -> Generator:
+        started = self.env.now
+        chosen = {r.req_id for r in active}
+        out = [r for r in self.running if r.req_id not in chosen]
+        for request in out:
+            yield from self._swap_out(request)
+        into = [r for r in active if r in self.swapped]
+        for request in into:
+            yield from self._swap_in(request)
+        self.context_switch_time += self.env.now - started
+        if (out or into) and self.env.now > started:
+            self.trace_span(
+                "context-switch", started, out=len(out), swapped_in=len(into)
+            )
+
+    def _admit_new(self, active: list[Request]) -> Generator:
+        """Prefill requests entering the GPU for the first time.
+
+        With a chat context cache, a returning user's prior conversation
+        KV is restored from offloaded memory and only the new text is
+        prefilled.
+        """
+        fresh = [r for r in active if r in self.waiting]
+        if not fresh:
+            return
+        prefill_tokens = 0
+        for request in fresh:
+            self.waiting.remove(request)
+            self.kv.admit(request.req_id, request.total_tokens)
+            if self.lora_cache is not None and request.adapter is not None:
+                yield from self.lora_cache.ensure(request.adapter)
+            restored = 0
+            if self.context_cache is not None and request.user is not None:
+                if self.context_cache.cached_tokens(
+                    request.user, request.prompt_tokens
+                ):
+                    restored = yield from self.context_cache.restore(request.user)
+            prefill_tokens += request.total_tokens - restored
+        started = self.env.now
+        yield from self.gpu.compute_op(
+            self.model.prefill_time(self.gpu.spec, prefill_tokens)
+        )
+        self.trace_span(
+            "prefill", started, requests=len(fresh), tokens=prefill_tokens
+        )
+        for request in fresh:
+            self._finish_token(request)
+            if request.done:
+                yield from self._maybe_cache_context(request)
+                self.kv.release(request.req_id)
+            else:
+                self.running.append(request)
+
+    def _maybe_cache_context(self, request: Request) -> Generator:
+        """Park a finished conversation's KV before releasing its blocks."""
+        if self.context_cache is not None and request.user is not None:
+            yield from self.context_cache.save(request.user, request.total_tokens)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _run_slice(self) -> Generator:
+        slice_started = self.env.now
+        slice_batch = len(self.running)
+        try:
+            for _ in range(self.slice_tokens):
+                batch = list(self.running)
+                if not batch:
+                    return
+                context = sum(r.total_tokens for r in batch)
+                step = self.model.decode_step_time(self.gpu.spec, len(batch), context)
+                yield from self.gpu.compute_op(step)
+                for request in batch:
+                    self.kv.append_token(request.req_id)
+                    self._finish_token(request)
+                    if request.done:
+                        yield from self._maybe_cache_context(request)
+                        self.running.remove(request)
+                        self.kv.release(request.req_id)
+        finally:
+            if slice_batch and self.env.now > slice_started:
+                self.trace_span("slice", slice_started, batch=slice_batch)
+
+    def _evict_oversized(self) -> None:
+        """No live prompt fits the KV cache: reject or truncate one."""
+        if self.waiting:
+            self.waiting.popleft()
+            return
+        victim = max(
+            [*self.running, *self.swapped], key=lambda r: r.total_tokens
+        )
+        victim.max_new_tokens = victim.generated_tokens + 1
+        self._finish_token(victim)
+        if victim in self.running:
+            self.running.remove(victim)
+            self.kv.release(victim.req_id)
+        self._release_finished_swapped()
+
+    def _release_finished_swapped(self) -> None:
+        for request in [r for r in self.swapped if r.done]:
+            self.swapped.remove(request)
+            self.kv.release(request.req_id)
+            tensor = self._swap_tensors.pop(request.req_id, None)
+            if tensor is not None:
+                tensor.free()
+            if request.req_id in self._dram_tags:
+                self.server.dram.pool.release(f"{self.name}:ctx{request.req_id}")
+                del self._dram_tags[request.req_id]
+
+    def _serve(self) -> Generator:
+        while True:
+            if not (self.running or self.swapped or self.waiting):
+                yield from self._wait_for_arrival()
+                self.iteration += 1
+                yield from self.maybe_producer_tick()
+                continue
+            active = self._select_active()
+            if not active:
+                self._evict_oversized()
+                continue
+            yield from self._context_switch(active)
+            yield from self._admit_new(active)
+            yield from self._run_slice()
+            self._release_finished_swapped()
+            self.slices_run += 1
+            self.iteration += 1
+            if self.aqua_lib is not None and self.iteration % self.respond_every == 0:
+                yield from self.aqua_lib.respond()
+            yield from self.maybe_producer_tick()

@@ -1,0 +1,132 @@
+"""Chat context caching in offloaded memory (extension).
+
+Multi-turn chat resends the whole conversation every turn, so each turn
+re-prefills everything the model already ingested (§8's workload).  A
+natural use of AQUA TENSORS is to *keep* a finished conversation's KV
+cache offloaded — parked in the producer GPU's donated HBM — and pull
+it back over NVLink when the user's next turn arrives, prefilling only
+the new text.
+
+This trades cheap remote memory for repeated prefill compute: restoring
+N cached tokens costs an NVLink read of their KV instead of quadratic
+attention recompute.  The cache is LRU over users with a byte budget;
+entries are invalidated on restore (the conversation immediately grows
+past them).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.hardware.specs import GiB
+from repro.models.llm import LLMSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.aqua.lib import AquaLib
+    from repro.aqua.tensor import AquaTensor
+
+
+class ChatContextCache:
+    """Per-user store of finished conversations' KV contexts.
+
+    Parameters
+    ----------
+    aqua_lib:
+        The consumer GPU's AQUA-LIB; cached contexts live wherever it
+        places them (paired producer GPU, DRAM fallback).
+    model:
+        The served LLM (sizes the KV bytes).
+    max_bytes:
+        Total budget for cached contexts; least-recently-used users are
+        evicted beyond it.
+    """
+
+    def __init__(
+        self, aqua_lib: "AquaLib", model: LLMSpec, max_bytes: int = 20 * GiB
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.aqua_lib = aqua_lib
+        self.model = model
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[int, tuple[int, "AquaTensor"]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.tokens_restored = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(tensor.nbytes for _, tensor in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cached_tokens(self, user: Optional[int], prompt_tokens: int) -> int:
+        """Reusable prefix length for a new prompt from ``user``.
+
+        The chat turn's prompt embeds the prior conversation, so the
+        cached context is usable iff it is a prefix (not longer than the
+        new prompt).
+        """
+        if user is None:
+            return 0
+        entry = self._entries.get(user)
+        if entry is None:
+            return 0
+        tokens, _ = entry
+        return tokens if tokens <= prompt_tokens else 0
+
+    # ------------------------------------------------------------------
+    def save(self, user: Optional[int], tokens: int) -> Generator:
+        """Park a finished conversation's KV (called before its blocks
+        are released on the GPU).  Evicts LRU users over budget."""
+        if user is None or tokens <= 0:
+            return
+        self.drop(user)  # a newer turn supersedes any stale entry
+        nbytes = self.model.kv_bytes(tokens)
+        if nbytes > self.max_bytes:
+            return  # conversation too large to be worth caching
+        while self._entries and self.used_bytes + nbytes > self.max_bytes:
+            _, (_, victim) = self._entries.popitem(last=False)
+            victim.free()
+            self.evictions += 1
+        tensor = self.aqua_lib.to_responsive_tensor(
+            nbytes, pieces=2 * self.model.n_layers, tag=f"chat-ctx-u{user}"
+        )
+        yield from tensor.flush()
+        self._entries[user] = (tokens, tensor)
+
+    def restore(self, user: int) -> Generator:
+        """Bring a user's cached context back into the GPU.
+
+        Returns the number of tokens restored; the entry is consumed
+        (the conversation immediately grows past it).
+        """
+        entry = self._entries.pop(user, None)
+        if entry is None:
+            self.misses += 1
+            return 0
+        tokens, tensor = entry
+        yield from tensor.fetch()
+        tensor.free()
+        self.hits += 1
+        self.tokens_restored += tokens
+        return tokens
+
+    def drop(self, user: int) -> None:
+        entry = self._entries.pop(user, None)
+        if entry is not None:
+            entry[1].free()
+
+    def clear(self) -> None:
+        for user in list(self._entries):
+            self.drop(user)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChatContextCache users={len(self._entries)} "
+            f"{self.used_bytes / 2**30:.1f}GiB hits={self.hits}>"
+        )

@@ -1,0 +1,216 @@
+"""Shared machinery for LLM serving engines.
+
+:class:`LLMEngineBase` owns what every LLM engine needs: the weight and
+workspace reservations, the paged KV cache sized like a real engine
+(``gpu_memory_utilization`` budget), the waiting queue, metrics, and the
+producer-side AQUA duties (periodic ``inform_stats`` with donate/grow
+handling).  Concrete schedulers (continuous batching, CFS, FlexGen-style
+streaming) subclass it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.aqua.informers import EngineStats
+from repro.memory.allocator import BlockAllocator
+from repro.memory.kv_cache import PagedKVCache
+from repro.models.llm import LLMSpec
+from repro.serving.metrics import MetricsCollector
+from repro.serving.request import Request
+from repro.sim import AnyOf, Environment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.aqua.lib import AquaLib
+    from repro.hardware.gpu import GPU
+    from repro.hardware.server import Server
+
+
+class LLMEngineBase:
+    """Common state and producer duties for LLM serving engines.
+
+    Parameters
+    ----------
+    gpu, server:
+        Where the engine runs.
+    model:
+        The hosted LLM.
+    block_tokens:
+        Paged-attention block size in tokens.
+    utilization:
+        Fraction of HBM the engine may use (vLLM's
+        ``gpu_memory_utilization``, default 0.9).
+    workspace_tokens:
+        Prefill chunk the activation workspace is sized for.
+    aqua_lib:
+        Optional AQUA-LIB instance.  With an informer attached the
+        engine acts as a *producer*: every ``inform_every`` iterations
+        it reports stats and donates / takes back KV memory.
+    inform_every:
+        Iterations between ``inform_stats`` calls.
+    """
+
+    def __init__(
+        self,
+        gpu: "GPU",
+        server: "Server",
+        model: LLMSpec,
+        block_tokens: int = 16,
+        utilization: float = 0.9,
+        workspace_tokens: int = 2048,
+        aqua_lib: Optional["AquaLib"] = None,
+        inform_every: int = 8,
+        name: str = "llm-engine",
+        tracer=None,
+    ) -> None:
+        if not 0 < utilization <= 1:
+            raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+        self.env: Environment = server.env
+        self.gpu = gpu
+        self.server = server
+        self.model = model
+        self.aqua_lib = aqua_lib
+        self.inform_every = inform_every
+        self.name = name
+        self.tracer = tracer
+        self.metrics = MetricsCollector(name)
+
+        pre_reserved = gpu.hbm.used  # e.g. a LoRA cache region
+        gpu.hbm.reserve(f"{name}:weights", model.weight_bytes)
+        gpu.hbm.reserve(
+            f"{name}:workspace", model.activation_workspace_bytes(workspace_tokens)
+        )
+        kv_budget = (
+            model.free_kv_bytes(
+                gpu.spec, workspace_tokens=workspace_tokens, utilization=utilization
+            )
+            - pre_reserved
+        )
+        block_bytes = model.kv_bytes_per_token * block_tokens
+        n_blocks = max(0, kv_budget) // block_bytes
+        self.allocator = BlockAllocator(
+            n_blocks=int(n_blocks),
+            block_bytes=block_bytes,
+            pool=gpu.hbm,
+            tag=f"{name}:kv-region",
+        )
+        self.kv = PagedKVCache(model, self.allocator, block_tokens=block_tokens)
+
+        self.waiting: deque[Request] = deque()
+        self.running: list[Request] = []
+        self.total_submitted = 0
+        self.iteration = 0
+        self._arrival_event = self.env.event()
+        self._process = None
+
+    # ------------------------------------------------------------------
+    # Client interface
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Enqueue a request for inference."""
+        self.waiting.append(request)
+        self.total_submitted += 1
+        if not self._arrival_event.triggered:
+            self._arrival_event.succeed()
+
+    def start(self) -> None:
+        """Begin serving (spawns the engine's simulation process)."""
+        if self._process is not None:
+            raise RuntimeError(f"{self.name} already started")
+        self._process = self.env.process(self._serve())
+
+    def _serve(self) -> Generator:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def _wait_for_arrival(self, max_wait: float = 0.25) -> Generator:
+        """Sleep until a request arrives or ``max_wait`` elapses.
+
+        The timeout keeps producer duties ticking while idle (an idle
+        LLM is exactly when it has memory to donate, Figure 10).
+        """
+        if self.waiting:
+            return
+        if self._arrival_event.triggered:
+            self._arrival_event = self.env.event()
+        yield AnyOf(self.env, [self._arrival_event, self.env.timeout(max_wait)])
+
+    def _finish_token(self, request: Request) -> None:
+        """Record one generated token, completing the request if done."""
+        request.record_token(self.env.now)
+        self.metrics.record_token(self.env.now)
+        if request.done:
+            self.metrics.record_completion(request)
+
+    @property
+    def kv_used_bytes(self) -> int:
+        return self.allocator.used_blocks * self.allocator.block_bytes
+
+    @property
+    def kv_capacity_bytes(self) -> int:
+        return self.allocator.n_blocks * self.allocator.block_bytes
+
+    @property
+    def kv_free_bytes(self) -> int:
+        return self.allocator.free_blocks * self.allocator.block_bytes
+
+    def engine_stats(self) -> EngineStats:
+        return EngineStats(
+            now=self.env.now,
+            pending_requests=len(self.waiting),
+            running_requests=len(self.running),
+            kv_used_bytes=self.kv_used_bytes,
+            kv_capacity_bytes=self.kv_capacity_bytes,
+            offerable_bytes=self.kv_free_bytes,
+            arrived_total=self.total_submitted,
+        )
+
+    # ------------------------------------------------------------------
+    # Producer duties (§B.1: vLLM as an AQUA memory producer)
+    # ------------------------------------------------------------------
+    def producer_tick(self) -> Generator:
+        """Report stats to AQUA-LIB and apply the returned memory delta.
+
+        Donations shrink the KV region (after a compaction pass that
+        copies scattered live blocks out of the way, as the paper's
+        vLLM integration does); reclaims grow it back.
+        """
+        if self.aqua_lib is None:
+            return
+        delta = self.aqua_lib.inform_stats(self.engine_stats())
+        if delta < 0:
+            blocks = min(-delta // self.allocator.block_bytes, self.allocator.free_blocks)
+            if blocks <= 0:
+                return
+            moved = min(self.kv_used_bytes, blocks * self.allocator.block_bytes)
+            if moved > 0:
+                compaction = 2 * moved / self.gpu.spec.effective_hbm_bandwidth
+                yield from self.gpu.compute_op(compaction)
+            removed = self.allocator.shrink_any(blocks)
+            if removed > 0:
+                self.aqua_lib.complete_offer(removed * self.allocator.block_bytes)
+        elif delta > 0:
+            self.allocator.grow(delta // self.allocator.block_bytes)
+
+    def maybe_producer_tick(self) -> Generator:
+        if self.aqua_lib is not None and self.iteration % self.inform_every == 0:
+            yield from self.producer_tick()
+
+    def trace_span(self, name: str, start: float, **args) -> None:
+        """Record a span from ``start`` to now on this engine's track."""
+        if self.tracer is not None:
+            self.tracer.add_span(name, self.name, start, self.env.now, **args)
+
+    def sample_memory(self) -> None:
+        """Record the GPU's free-memory time series (Figure 10a)."""
+        self.metrics.sample("free_hbm", self.env.now, self.gpu.free_hbm)
+        self.metrics.sample("kv_free", self.env.now, self.kv_free_bytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name} model={self.model.name} "
+            f"waiting={len(self.waiting)} running={len(self.running)}>"
+        )

@@ -1,0 +1,136 @@
+"""Metric collection: per-request latencies and time series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.serving.request import Request
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]).
+
+    Raises
+    ------
+    ValueError
+        On an empty input or ``q`` outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class TimeSeries:
+    """A named sequence of (time, value) samples."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} must be appended in order "
+                f"({time} < {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def window_sum(self, start: float, end: float) -> float:
+        """Sum of values sampled in ``[start, end)``."""
+        return sum(v for t, v in zip(self.times, self.values) if start <= t < end)
+
+
+class MetricsCollector:
+    """Aggregates completed requests and running counters for one engine."""
+
+    def __init__(self, name: str = "engine") -> None:
+        self.name = name
+        self.completed: list[Request] = []
+        self.tokens_generated = 0
+        self.token_times: list[float] = []
+        self.series: dict[str, TimeSeries] = {}
+
+    # ------------------------------------------------------------------
+    def record_token(self, now: float, n: int = 1) -> None:
+        self.tokens_generated += n
+        self.token_times.extend([now] * n)
+
+    def record_completion(self, request: Request) -> None:
+        self.completed.append(request)
+
+    def sample(self, series: str, time: float, value: float) -> None:
+        self.series.setdefault(series, TimeSeries(series)).append(time, value)
+
+    # ------------------------------------------------------------------
+    @property
+    def ttfts(self) -> list[float]:
+        return [r.ttft for r in self.completed if r.ttft is not None]
+
+    @property
+    def rcts(self) -> list[float]:
+        return [r.rct for r in self.completed if r.rct is not None]
+
+    def ttft_percentile(self, q: float) -> float:
+        return percentile(self.ttfts, q)
+
+    def rct_percentile(self, q: float) -> float:
+        return percentile(self.rcts, q)
+
+    def mean_ttft(self) -> float:
+        values = self.ttfts
+        return sum(values) / len(values) if values else float("nan")
+
+    def mean_rct(self) -> float:
+        values = self.rcts
+        return sum(values) / len(values) if values else float("nan")
+
+    def tokens_in_window(self, start: float, end: float) -> int:
+        return sum(1 for t in self.token_times if start <= t < end)
+
+    def throughput(self, start: float, end: float) -> float:
+        """Generated tokens per second over a window."""
+        if end <= start:
+            raise ValueError("window end must be after start")
+        return self.tokens_in_window(start, end) / (end - start)
+
+    def sorted_rcts(self) -> list[float]:
+        """RCTs in ascending order (the paper's Figures 8, 11, 12)."""
+        return sorted(self.rcts)
+
+    def summary(self) -> dict:
+        """A compact report of this engine's run."""
+        out = {
+            "name": self.name,
+            "completed": len(self.completed),
+            "tokens": self.tokens_generated,
+        }
+        if self.ttfts:
+            out["ttft_mean"] = self.mean_ttft()
+            out["ttft_p50"] = self.ttft_percentile(50)
+            out["ttft_p95"] = self.ttft_percentile(95)
+        if self.rcts:
+            out["rct_mean"] = self.mean_rct()
+            out["rct_p50"] = self.rct_percentile(50)
+            out["rct_p95"] = self.rct_percentile(95)
+        return out

@@ -1,0 +1,70 @@
+"""Orca-style serving: iteration-level batching without paged KV (§9).
+
+Orca introduced batching new prompts into ongoing iterations; vLLM kept
+that scheduler and added paged attention.  The operative difference is
+memory: Orca-era engines reserve each sequence's KV for its *maximum
+possible length* up front (contiguous allocation), so memory admission
+is gated by worst-case sizes and most of the reservation sits unused.
+This engine reproduces that: same continuous-batching loop as
+:class:`VLLMEngine`, but admission charges ``prompt + max_new_tokens``
+immediately and generation never allocates again.
+
+Comparing it with vLLM on the same burst shows paged attention's
+concurrency win — and why AQUA builds on the paged engine.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.serving.request import Request
+from repro.serving.vllm_engine import VLLMEngine
+
+
+class OrcaEngine(VLLMEngine):
+    """Continuous batching with worst-case (max-length) KV reservations."""
+
+    def __init__(self, gpu, server, model, name: str = "orca", **kwargs) -> None:
+        kwargs.pop("preemption_mode", None)  # nothing to preempt: memory
+        kwargs.pop("chunked_prefill_tokens", None)  # is reserved up front
+        super().__init__(gpu, server, model, name=name, **kwargs)
+
+    def _max_tokens(self, request: Request) -> int:
+        return request.prompt_tokens + request.max_new_tokens
+
+    def _admit(self) -> list[Request]:
+        admitted = []
+        while (
+            self.waiting
+            and len(self.running) + len(admitted) < self.max_batch
+            and self.kv.can_admit(self._max_tokens(self.waiting[0]))
+        ):
+            request = self.waiting.popleft()
+            # Reserve for the worst case; blocks never grow afterwards.
+            self.kv.admit(request.req_id, self._max_tokens(request))
+            admitted.append(request)
+        return admitted
+
+    def _decode_step(self) -> Generator:
+        batch = list(self.running)
+        context = sum(r.total_tokens for r in batch)
+        step = self.model.decode_step_time(self.gpu.spec, len(batch), context)
+        started = self.env.now
+        yield from self.gpu.compute_op(step)
+        self.trace_span("decode", started, batch=len(batch))
+        for request in batch:
+            # The reservation already covers this token: no allocation,
+            # no possibility of mid-generation OOM (that is the one
+            # thing worst-case reservation buys).
+            self._finish_token(request)
+            if request.done:
+                self.running.remove(request)
+                self.kv.release(request.req_id)
+
+    @property
+    def reserved_unused_bytes(self) -> int:
+        """KV bytes reserved but not yet (and possibly never) used."""
+        used = sum(
+            self.model.kv_bytes(r.total_tokens) for r in self.running
+        )
+        return max(0, self.kv_used_bytes - used)

@@ -1,0 +1,269 @@
+"""A vLLM-style serving engine: continuous batching over paged KV.
+
+The scheduler mirrors vLLM's default behaviour, which is what makes the
+paper's motivation reproducible: a new prompt is *admitted* only when
+the paged KV cache has room for it, so under bursty load late arrivals
+sit in the waiting queue making zero progress (Figure 1a / Figure 9's
+RCT jumps at ~20 requests).  Decode runs one token per iteration for
+every running sequence; when KV space runs out mid-generation the most
+recent sequence is preempted and recomputed later, as vLLM does.
+
+The engine can simultaneously serve and act as an AQUA memory producer
+(the paper's modified vLLM, §B.1): spare KV blocks are donated via the
+``llm-informer`` and taken back when the queue builds up.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.serving.engine import LLMEngineBase
+from repro.serving.lora_manager import LoRACache
+from repro.serving.request import Request
+
+
+class VLLMEngine(LLMEngineBase):
+    """Continuous-batching engine with admission control.
+
+    Parameters (beyond :class:`LLMEngineBase`)
+    ----------
+    max_batch:
+        Upper bound on concurrently running sequences (vLLM's
+        ``max_num_seqs``).
+    lora_cache:
+        Optional adapter cache; requests naming an adapter block until
+        it is GPU-resident.
+    sample_every:
+        Iterations between free-memory samples (0 disables).
+    preemption_mode:
+        What happens to a victim when KV space runs out mid-decode:
+        ``"recompute"`` (vLLM's default: drop the blocks, re-prefill the
+        whole context later) or ``"swap"`` (page the KV to host DRAM
+        over PCIe and bring it back when space frees up).
+    chunked_prefill_tokens:
+        When set, prompts prefill in chunks of at most this many tokens,
+        fused with a decode step for the running batch each iteration —
+        the DeepSpeed-FastGen behaviour the paper cites [22], which
+        keeps decode latency smooth while long prompts ingest.  ``None``
+        keeps whole-prompt prefill.
+    """
+
+    def __init__(
+        self,
+        gpu,
+        server,
+        model,
+        max_batch: int = 64,
+        lora_cache: Optional[LoRACache] = None,
+        sample_every: int = 0,
+        preemption_mode: str = "recompute",
+        chunked_prefill_tokens: Optional[int] = None,
+        name: str = "vllm",
+        **kwargs,
+    ) -> None:
+        super().__init__(gpu, server, model, name=name, **kwargs)
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if preemption_mode not in ("recompute", "swap"):
+            raise ValueError(f"unknown preemption mode {preemption_mode!r}")
+        if chunked_prefill_tokens is not None and chunked_prefill_tokens < 1:
+            raise ValueError(
+                f"chunked_prefill_tokens must be >= 1, got {chunked_prefill_tokens}"
+            )
+        self.max_batch = max_batch
+        self.lora_cache = lora_cache
+        self.sample_every = sample_every
+        self.preemption_mode = preemption_mode
+        self.chunked_prefill_tokens = chunked_prefill_tokens
+        self.preemptions = 0
+        self.rejected: list[Request] = []
+        #: Sequences swapped out to host DRAM (preemption_mode="swap").
+        self.swapped_out: list[Request] = []
+        #: (request, tokens_left_to_prefill) under chunked prefill.
+        self.prefilling: list[list] = []
+
+    # ------------------------------------------------------------------
+    def _admit(self) -> list[Request]:
+        """Admit waiting requests while KV memory and batch slots allow."""
+        admitted = []
+        while (
+            self.waiting
+            and len(self.running) + len(self.prefilling) + len(admitted)
+            < self.max_batch
+            and self.kv.can_admit(self.waiting[0].total_tokens)
+        ):
+            request = self.waiting.popleft()
+            self.kv.admit(request.req_id, request.total_tokens)
+            admitted.append(request)
+        return admitted
+
+    def _prefill(self, admitted: list[Request]) -> Generator:
+        """Run prefill for newly admitted requests (adapter loads first)."""
+        if self.lora_cache is not None:
+            for request in admitted:
+                if request.adapter is not None:
+                    yield from self.lora_cache.ensure(request.adapter)
+        tokens = sum(r.total_tokens for r in admitted)
+        started = self.env.now
+        yield from self.gpu.compute_op(self.model.prefill_time(self.gpu.spec, tokens))
+        self.trace_span("prefill", started, requests=len(admitted), tokens=tokens)
+        for request in admitted:
+            # Prefill emits the first token; preempted sequences resuming
+            # via recompute have already reported theirs.
+            self._finish_token(request)
+            if request.done:
+                self.kv.release(request.req_id)
+            else:
+                self.running.append(request)
+
+    def _decode_step(self) -> Generator:
+        """One decode iteration for the whole running batch."""
+        batch = list(self.running)
+        context = sum(r.total_tokens for r in batch)
+        step = self.model.decode_step_time(self.gpu.spec, len(batch), context)
+        started = self.env.now
+        yield from self.gpu.compute_op(step)
+        self.trace_span("decode", started, batch=len(batch))
+        yield from self._decode_bookkeeping(batch)
+
+    def _decode_bookkeeping(self, batch: list[Request]) -> Generator:
+        """Account one generated token for every sequence in ``batch``."""
+        for request in batch:
+            if request not in self.running:
+                continue  # preempted by an earlier sequence this step
+            if not self.kv.can_append(request.req_id):
+                yield from self._preempt_for(request)
+            if not self.kv.can_append(request.req_id):
+                # Still no room (nothing left to preempt): end the
+                # sequence here, as a context-length abort would.
+                request.max_new_tokens = request.generated_tokens + 1
+                self._finish_token(request)
+                self.running.remove(request)
+                self.kv.release(request.req_id)
+                continue
+            self.kv.append_token(request.req_id)
+            self._finish_token(request)
+            if request.done:
+                self.running.remove(request)
+                self.kv.release(request.req_id)
+
+    def _preempt_for(self, needy: Request) -> Generator:
+        """Free KV space by preempting the youngest sequence.
+
+        ``recompute`` releases the victim's blocks and re-prefills its
+        whole context later; ``swap`` pages the victim's KV to host
+        DRAM (paying the PCIe write now and the read at swap-in).
+        """
+        victims = [r for r in self.running if r is not needy]
+        if not victims:
+            return
+        victim = max(victims, key=lambda r: r.arrival_time)
+        self.running.remove(victim)
+        self.preemptions += 1
+        if self.preemption_mode == "swap":
+            nbytes = self.kv.swap_out(victim.req_id)
+            self.server.dram.pool.reserve(f"{self.name}:swap{victim.req_id}", nbytes)
+            yield from self.server.transfer(self.gpu, self.server.dram, nbytes)
+            self.swapped_out.append(victim)
+        else:
+            self.kv.release(victim.req_id)
+            self.waiting.appendleft(victim)
+
+    def _abort_stuck_swapped(self) -> None:
+        """End a swapped sequence that can no longer fit the KV cache
+        (it grew, or the region shrank), as a context abort would."""
+        victim = self.swapped_out.pop(0)
+        victim.max_new_tokens = victim.generated_tokens + 1
+        self._finish_token(victim)
+        self.kv.release(victim.req_id)
+        self.server.dram.pool.release(f"{self.name}:swap{victim.req_id}")
+
+    def _swap_in_ready(self) -> Generator:
+        """Bring back swapped sequences when KV space allows (FIFO)."""
+        while (
+            self.swapped_out
+            and len(self.running) < self.max_batch
+            and self.kv.can_swap_in(self.swapped_out[0].req_id)
+        ):
+            request = self.swapped_out.pop(0)
+            nbytes = self.kv.swap_in(request.req_id)
+            yield from self.server.transfer(self.server.dram, self.gpu, nbytes)
+            self.server.dram.pool.release(f"{self.name}:swap{request.req_id}")
+            self.running.append(request)
+
+    def _prefill_chunk_step(self) -> Generator:
+        """One fused iteration: a prefill chunk plus a decode step.
+
+        The chunk's compute and the running batch's decode run as one
+        kernel schedule; finished prompts emit their first token and
+        join the running batch.
+        """
+        request, remaining = self.prefilling[0]
+        chunk = min(remaining, self.chunked_prefill_tokens)
+        duration = self.model.prefill_time(self.gpu.spec, chunk)
+        batch = list(self.running)
+        if batch:
+            context = sum(r.total_tokens for r in batch)
+            duration += self.model.decode_step_time(self.gpu.spec, len(batch), context)
+        started = self.env.now
+        yield from self.gpu.compute_op(duration)
+        self.trace_span("chunked-prefill", started, chunk=chunk, batch=len(batch))
+        if batch:
+            yield from self._decode_bookkeeping(batch)
+        self.prefilling[0][1] -= chunk
+        if self.prefilling[0][1] <= 0:
+            self.prefilling.pop(0)
+            self._finish_token(request)
+            if request.done:
+                self.kv.release(request.req_id)
+            else:
+                self.running.append(request)
+
+    def _start_chunked_prefill(self, admitted: list[Request]) -> Generator:
+        if self.lora_cache is not None:
+            for request in admitted:
+                if request.adapter is not None:
+                    yield from self.lora_cache.ensure(request.adapter)
+        for request in admitted:
+            self.prefilling.append([request, request.total_tokens])
+
+    def _serve(self) -> Generator:
+        while True:
+            if self.swapped_out:
+                yield from self._swap_in_ready()
+            admitted = self._admit()
+            if self.chunked_prefill_tokens is not None:
+                if admitted:
+                    yield from self._start_chunked_prefill(admitted)
+                if self.prefilling:
+                    yield from self._prefill_chunk_step()
+                elif self.running:
+                    yield from self._decode_step()
+                elif self.waiting:
+                    self.rejected.append(self.waiting.popleft())
+                elif self.swapped_out:
+                    self._abort_stuck_swapped()
+                else:
+                    yield from self._wait_for_arrival()
+                self.iteration += 1
+                yield from self.maybe_producer_tick()
+                if self.sample_every and self.iteration % self.sample_every == 0:
+                    self.sample_memory()
+                continue
+            if admitted:
+                yield from self._prefill(admitted)
+            elif self.running:
+                yield from self._decode_step()
+            elif self.waiting:
+                # Nothing is running yet the head still does not fit: the
+                # prompt exceeds the whole KV cache.  Reject it, as vLLM
+                # rejects prompts beyond the context capacity.
+                self.rejected.append(self.waiting.popleft())
+            elif self.swapped_out:
+                self._abort_stuck_swapped()
+            else:
+                yield from self._wait_for_arrival()
+            self.iteration += 1
+            yield from self.maybe_producer_tick()
+            if self.sample_every and self.iteration % self.sample_every == 0:
+                self.sample_memory()

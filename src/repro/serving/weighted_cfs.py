@@ -1,0 +1,31 @@
+"""Weighted completely fair scheduling (extension of §5).
+
+Linux's CFS supports per-task *weights* (nice levels): a task's virtual
+runtime advances inversely to its weight, so heavier tasks receive a
+proportionally larger share of the CPU.  The same generalization drops
+straight into AQUA's prompt scheduler: a prompt's virtual progress is
+``generated_tokens / weight``, so a weight-2 tenant's prompts get
+roughly twice the decode slices of a weight-1 tenant under contention
+— differentiated service classes for multi-tenant inference, with the
+same AQUA TENSORS context switching underneath.
+"""
+
+from __future__ import annotations
+
+from repro.serving.cfs import CFSEngine
+from repro.serving.request import Request
+
+
+class WeightedCFSEngine(CFSEngine):
+    """CFS with per-request service weights (``Request.weight``).
+
+    Everything else — slicing, context switching over AQUA TENSORS or
+    DRAM, admission — is inherited from :class:`CFSEngine`; only the
+    virtual-runtime ordering changes.
+    """
+
+    def __init__(self, gpu, server, model, name: str = "wcfs", **kwargs) -> None:
+        super().__init__(gpu, server, model, name=name, **kwargs)
+
+    def _vruntime(self, request: Request) -> float:
+        return request.generated_tokens / request.weight

@@ -1,0 +1,142 @@
+"""The event loop at the heart of the simulation kernel."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, Process, SimulationError, Timeout
+
+#: Scheduling priorities.  URGENT events (process initialisation,
+#: interrupts) run before NORMAL events scheduled for the same time.
+URGENT = 0
+NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Internal: raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    The environment owns the virtual clock (:attr:`now`) and the event
+    queue.  Use :meth:`process` to start processes, :meth:`timeout` to
+    create delays and :meth:`run` to execute the simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock, in seconds.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Any, Any, Any]) -> Process:
+        """Start a new process from a generator and return it."""
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks or ():
+            callback(event)
+        event._state = "processed"
+
+        if not event._ok and not event._defused:
+            # A failure nobody waited for: surface it to the caller of run().
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` runs until no events remain.  A number runs until the
+            clock reaches that time.  An :class:`Event` runs until that
+            event is processed and returns its value.
+        """
+        stop_event: Event | None = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until ({stop_time}) must not be before now ({self._now})"
+                )
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            try:
+                self.step()
+            except EmptySchedule:
+                if stop_event is not None:
+                    raise SimulationError(
+                        "simulation ended before the awaited event triggered"
+                    ) from None
+                if stop_time != float("inf"):
+                    self._now = stop_time
+                return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

@@ -1,0 +1,72 @@
+"""Arrival processes: Poisson streams and closed-loop users."""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.serving.request import Request
+from repro.sim import Environment
+
+
+def poisson_arrival_times(
+    rng: np.random.Generator, rate: float, count: int, start: float = 0.0
+) -> list[float]:
+    """``count`` arrival times of a Poisson process of ``rate`` req/s.
+
+    The paper issues interactive requests "using Poisson distribution
+    for request arrival times" at 1-10 req/s, like vLLM's benchmarks.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    gaps = rng.exponential(scale=1.0 / rate, size=count)
+    return list(start + np.cumsum(gaps))
+
+
+def submit_at(env: Environment, engine, request: Request) -> None:
+    """Schedule a request's submission at its arrival time."""
+
+    def deliver(env):
+        delay = request.arrival_time - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        request.arrival_time = env.now
+        engine.submit(request)
+
+    env.process(deliver(env))
+
+
+def submit_all(env: Environment, engine, requests: list[Request]) -> None:
+    """Schedule a whole trace of requests onto an engine."""
+    for request in requests:
+        submit_at(env, engine, request)
+
+
+def closed_loop_user(
+    env: Environment,
+    engine,
+    make_request: Callable[[int], Request],
+    turns: int,
+    think_time: Callable[[], float],
+    user: Optional[int] = None,
+) -> Generator:
+    """One closed-loop user: submit, await the response, think, repeat.
+
+    This is the chatbot pattern of §8: each user issues one prompt,
+    waits for the full response, then (after a think-time gap) sends
+    the next turn.
+    """
+    if turns < 1:
+        raise ValueError(f"turns must be >= 1, got {turns}")
+    for turn in range(turns):
+        request = make_request(turn)
+        request.user = user
+        request.on_finish = env.event()
+        request.arrival_time = env.now
+        engine.submit(request)
+        yield request.on_finish
+        if turn < turns - 1:
+            yield env.timeout(max(0.0, think_time()))

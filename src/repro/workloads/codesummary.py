@@ -1,0 +1,44 @@
+"""Code-summarization workload (Table 1: CodeLlama-34B + vLLM + CFS).
+
+The paper prompts CodeLlama-34B to summarize randomly sampled Python
+files — prompts are whole source files (roughly 1-4k tokens once
+tokenized) with comparatively short summaries.  Long prompts are what
+exhaust the KV cache after a few tens of concurrent requests, producing
+the starvation cliff of Figures 1 and 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.request import Request
+from repro.workloads.arrivals import poisson_arrival_times
+from repro.workloads.sharegpt import LengthDistribution
+
+#: Source files: median ~700 tokens, clipped to [300, 2000].  Long
+#: enough that a few tens of requests exhaust the KV cache (the paper's
+#: starvation point), short enough that prefill itself stays feasible.
+CODE_PROMPT = LengthDistribution(
+    mean_log=np.log(700), sigma_log=0.5, minimum=300, maximum=2000
+)
+
+#: Summaries: median ~300 tokens.
+CODE_RESPONSE = LengthDistribution(
+    mean_log=np.log(300), sigma_log=0.5, minimum=100, maximum=600
+)
+
+
+def code_summary_requests(
+    rate: float, count: int, seed: int = 0, start: float = 0.0
+) -> list[Request]:
+    """A Poisson trace of code-summarization requests at ``rate`` req/s."""
+    rng = np.random.default_rng(seed)
+    times = poisson_arrival_times(rng, rate, count, start=start)
+    return [
+        Request(
+            arrival_time=t,
+            prompt_tokens=CODE_PROMPT.sample(rng),
+            max_new_tokens=CODE_RESPONSE.sample(rng),
+        )
+        for t in times
+    ]

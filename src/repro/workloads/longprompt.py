@@ -1,0 +1,38 @@
+"""Long-prompt (non-interactive) workloads for FlexGen-style engines.
+
+The paper's long-prompt experiments (§6.1, Figures 7, 10, 18) use
+8,000-token prompts on OPT-30B — a context that does not fit in the
+GPU's free memory after loading the model — and measure tokens
+generated in a fixed duration (ten minutes).
+"""
+
+from __future__ import annotations
+
+from repro.serving.request import Request
+
+#: The paper's prompt length: "the context limit for the popular GPT-4".
+PAPER_PROMPT_TOKENS = 8000
+
+
+def long_prompt_requests(
+    count: int = 1,
+    prompt_tokens: int = PAPER_PROMPT_TOKENS,
+    max_new_tokens: int = 100_000,
+    start: float = 0.0,
+) -> list[Request]:
+    """Back-to-back long-prompt jobs.
+
+    ``max_new_tokens`` defaults to effectively-unbounded: the experiment
+    measures how many tokens are produced within the run duration, so
+    generation should never finish on its own.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [
+        Request(
+            arrival_time=start,
+            prompt_tokens=prompt_tokens,
+            max_new_tokens=max_new_tokens,
+        )
+        for _ in range(count)
+    ]

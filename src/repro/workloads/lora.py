@@ -1,0 +1,64 @@
+"""LoRA adapter workloads (§6 "inference with LoRA adapters", §7).
+
+Each request is a ShareGPT-like prompt that names one adapter from a
+pool; the paper randomly assigns one of 30 synthesized 320 MB adapters
+per request (Figure 8), or one of 200 adapters of a fixed size with a
+10 GB cache for the tensor-size sweep (Figure 12).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.models.lora import LoRAAdapter
+from repro.serving.request import Request
+from repro.workloads.arrivals import poisson_arrival_times
+from repro.workloads.sharegpt import ShareGPTSampler
+
+
+def lora_requests(
+    adapters: Sequence[LoRAAdapter],
+    rate: float,
+    count: int,
+    seed: int = 0,
+    start: float = 0.0,
+    unique_assignment: bool = False,
+    response_tokens: Optional[int] = None,
+) -> list[Request]:
+    """A Poisson trace of adapter-tagged requests.
+
+    Parameters
+    ----------
+    adapters:
+        The adapter pool.
+    unique_assignment:
+        When True, request ``i`` uses adapter ``i % len(adapters)``
+        (the Figure 12 sweep assigns "a different adapter" to each
+        prompt so every request misses the cache); otherwise adapters
+        are drawn uniformly at random, allowing cache hits (Figure 8).
+    response_tokens:
+        Fixed generation length; defaults to ShareGPT-like sampling.
+    """
+    if not adapters:
+        raise ValueError("adapter pool is empty")
+    sampler = ShareGPTSampler(seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    times = poisson_arrival_times(sampler.rng, rate, count, start=start)
+    requests = []
+    for i, t in enumerate(times):
+        prompt_tokens, sampled_response = sampler.sample()
+        if unique_assignment:
+            adapter = adapters[i % len(adapters)]
+        else:
+            adapter = adapters[int(rng.integers(len(adapters)))]
+        requests.append(
+            Request(
+                arrival_time=t,
+                prompt_tokens=prompt_tokens,
+                max_new_tokens=response_tokens or sampled_response,
+                adapter=adapter,
+            )
+        )
+    return requests

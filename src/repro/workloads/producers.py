@@ -1,0 +1,30 @@
+"""Producer-side workloads: image and audio generation requests.
+
+The paper drives image producers with the Parti-prompts dataset and
+audio producers with the models' default descriptions (§6).  Only the
+arrival process matters to the simulation — each request is one sample
+to generate — so this module emits seeded Poisson streams of unit
+requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.request import Request
+from repro.workloads.arrivals import poisson_arrival_times
+
+
+def producer_requests(
+    rate: float, count: int, seed: int = 0, start: float = 0.0
+) -> list[Request]:
+    """A Poisson stream of image/audio generation requests.
+
+    Each request generates exactly one sample (``max_new_tokens=1``
+    marks completion after one batch pass).
+    """
+    rng = np.random.default_rng(seed)
+    times = poisson_arrival_times(rng, rate, count, start=start)
+    return [
+        Request(arrival_time=t, prompt_tokens=1, max_new_tokens=1) for t in times
+    ]

@@ -1,0 +1,78 @@
+"""ShareGPT-like interactive prompts.
+
+The paper samples interactive requests from the ShareGPT dataset and
+uses each conversation's real response length as the generation length
+(§6).  The dataset itself is not redistributable, so this module
+reproduces its published length statistics with seeded lognormal
+samplers: median prompts of a few hundred tokens with a heavy tail,
+responses averaging ~200-250 tokens (the distribution vLLM's benchmark
+reports for ShareGPT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.request import Request
+from repro.workloads.arrivals import poisson_arrival_times
+
+
+@dataclass(frozen=True)
+class LengthDistribution:
+    """A clipped lognormal over token counts."""
+
+    mean_log: float
+    sigma_log: float
+    minimum: int
+    maximum: int
+
+    def sample(self, rng: np.random.Generator) -> int:
+        value = rng.lognormal(mean=self.mean_log, sigma=self.sigma_log)
+        return int(np.clip(round(value), self.minimum, self.maximum))
+
+
+#: Prompt lengths: median ~160 tokens, tail to 2k (ShareGPT-like).
+SHAREGPT_PROMPT = LengthDistribution(
+    mean_log=np.log(160), sigma_log=0.9, minimum=8, maximum=2048
+)
+
+#: Response lengths: median ~210 tokens, tail to 1k.
+SHAREGPT_RESPONSE = LengthDistribution(
+    mean_log=np.log(210), sigma_log=0.7, minimum=4, maximum=1024
+)
+
+
+class ShareGPTSampler:
+    """Seeded sampler of ShareGPT-like (prompt, response) length pairs."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        prompt: LengthDistribution = SHAREGPT_PROMPT,
+        response: LengthDistribution = SHAREGPT_RESPONSE,
+    ) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.prompt = prompt
+        self.response = response
+
+    def sample(self) -> tuple[int, int]:
+        return self.prompt.sample(self.rng), self.response.sample(self.rng)
+
+    def request(self, arrival_time: float) -> Request:
+        prompt_tokens, response_tokens = self.sample()
+        return Request(
+            arrival_time=arrival_time,
+            prompt_tokens=prompt_tokens,
+            max_new_tokens=response_tokens,
+        )
+
+
+def sharegpt_requests(
+    rate: float, count: int, seed: int = 0, start: float = 0.0
+) -> list[Request]:
+    """A Poisson trace of ShareGPT-like requests at ``rate`` req/s."""
+    sampler = ShareGPTSampler(seed=seed)
+    times = poisson_arrival_times(sampler.rng, rate, count, start=start)
+    return [sampler.request(t) for t in times]

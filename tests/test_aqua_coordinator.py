@@ -1,0 +1,293 @@
+"""Tests for the REST router and the AQUA central coordinator."""
+
+import threading
+
+import pytest
+
+from repro.aqua import Coordinator, Response, RestRouter
+from repro.aqua.coordinator import DRAM
+
+
+# ---------------------------------------------------------------------------
+# RestRouter
+# ---------------------------------------------------------------------------
+def test_router_dispatch():
+    router = RestRouter()
+
+    @router.route("GET", "/ping")
+    def ping(payload):
+        return Response.json({"pong": payload.get("x", 0)})
+
+    resp = router.request("GET", "/ping", {"x": 7})
+    assert resp.ok
+    assert resp.body == {"pong": 7}
+
+
+def test_router_unknown_route_404():
+    router = RestRouter()
+    resp = router.request("GET", "/nope")
+    assert resp.status == 404
+
+
+def test_router_duplicate_route_rejected():
+    router = RestRouter()
+
+    @router.route("GET", "/a")
+    def a(payload):
+        return Response.json()
+
+    with pytest.raises(ValueError):
+
+        @router.route("GET", "/a")
+        def b(payload):
+            return Response.json()
+
+
+def test_router_handler_exception_becomes_500():
+    router = RestRouter()
+
+    @router.route("POST", "/boom")
+    def boom(payload):
+        raise RuntimeError("kaput")
+
+    resp = router.request("POST", "/boom")
+    assert resp.status == 500
+    assert "kaput" in resp.body["error"]
+
+
+def test_router_method_case_insensitive():
+    router = RestRouter()
+
+    @router.route("get", "/x")
+    def x(payload):
+        return Response.json({"ok": True})
+
+    assert router.request("GET", "/x").ok
+
+
+# ---------------------------------------------------------------------------
+# Coordinator: leases and allocation
+# ---------------------------------------------------------------------------
+def make_paired_coordinator(offer=10_000):
+    coord = Coordinator()
+    coord.request("POST", "/pair", {"consumer": "c0", "producer": "p0"})
+    if offer:
+        coord.request("POST", "/lease", {"producer": "p0", "nbytes": offer})
+    return coord
+
+
+def test_lease_accumulates():
+    coord = Coordinator()
+    coord.request("POST", "/lease", {"producer": "p0", "nbytes": 100})
+    resp = coord.request("POST", "/lease", {"producer": "p0", "nbytes": 50})
+    assert resp.body["offered"] == 150
+
+
+def test_lease_invalid_size():
+    coord = Coordinator()
+    resp = coord.request("POST", "/lease", {"producer": "p0", "nbytes": 0})
+    assert not resp.ok
+
+
+def test_allocate_prefers_paired_producer():
+    coord = make_paired_coordinator()
+    resp = coord.request(
+        "POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 4_000}
+    )
+    assert resp.body["location"] == "p0"
+    assert coord.leases["p0"].used == 4_000
+
+
+def test_allocate_falls_back_to_dram_when_lease_full():
+    coord = make_paired_coordinator(offer=1_000)
+    resp = coord.request(
+        "POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 4_000}
+    )
+    assert resp.body["location"] == DRAM
+
+
+def test_allocate_without_pairing_goes_to_dram():
+    coord = Coordinator()
+    resp = coord.request(
+        "POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 10}
+    )
+    assert resp.body["location"] == DRAM
+
+
+def test_allocate_duplicate_tensor_rejected():
+    coord = make_paired_coordinator()
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 10})
+    resp = coord.request(
+        "POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 10}
+    )
+    assert resp.status == 409
+
+
+def test_free_returns_lease_capacity():
+    coord = make_paired_coordinator()
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 4000})
+    coord.request("POST", "/free", {"tensor_id": 1})
+    assert coord.leases["p0"].used == 0
+
+
+def test_free_unknown_tensor_404():
+    coord = Coordinator()
+    resp = coord.request("POST", "/free", {"tensor_id": 99})
+    assert resp.status == 404
+
+
+# ---------------------------------------------------------------------------
+# Coordinator: reclaim protocol
+# ---------------------------------------------------------------------------
+def test_reclaim_empty_lease_completes_immediately():
+    coord = make_paired_coordinator()
+    resp = coord.request("POST", "/reclaim_request", {"producer": "p0"})
+    assert resp.body["done"]
+    assert "p0" not in coord.leases
+
+
+def test_reclaim_without_lease_404():
+    coord = Coordinator()
+    resp = coord.request("POST", "/reclaim_request", {"producer": "p0"})
+    assert resp.status == 404
+
+
+def test_reclaim_queues_migrations_for_consumer():
+    coord = make_paired_coordinator()
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 100})
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 2, "nbytes": 100})
+    resp = coord.request("POST", "/reclaim_request", {"producer": "p0"})
+    assert resp.body == {"pending": 2, "done": False}
+    moves = coord.request("GET", "/respond", {"consumer": "c0"}).body["migrations"]
+    assert moves == {1: DRAM, 2: DRAM}
+
+
+def test_reclaim_blocks_new_allocations():
+    coord = make_paired_coordinator()
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 100})
+    coord.request("POST", "/reclaim_request", {"producer": "p0"})
+    resp = coord.request(
+        "POST", "/allocate", {"consumer": "c0", "tensor_id": 2, "nbytes": 100}
+    )
+    assert resp.body["location"] == DRAM
+
+
+def test_reclaim_completes_after_moves():
+    coord = make_paired_coordinator()
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 100})
+    coord.request("POST", "/reclaim_request", {"producer": "p0"})
+    status = coord.request("GET", "/reclaim_status", {"producer": "p0"}).body
+    assert not status["done"]
+    coord.request("POST", "/moved", {"tensor_id": 1, "location": DRAM})
+    status = coord.request("GET", "/reclaim_status", {"producer": "p0"}).body
+    assert status["done"]
+    assert "p0" not in coord.leases
+
+
+def test_reclaim_completes_via_free():
+    coord = make_paired_coordinator()
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 100})
+    coord.request("POST", "/reclaim_request", {"producer": "p0"})
+    coord.request("POST", "/free", {"tensor_id": 1})
+    assert coord.request("GET", "/reclaim_status", {"producer": "p0"}).body["done"]
+
+
+def test_lease_during_reclaim_rejected():
+    coord = make_paired_coordinator()
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 100})
+    coord.request("POST", "/reclaim_request", {"producer": "p0"})
+    resp = coord.request("POST", "/lease", {"producer": "p0", "nbytes": 100})
+    assert resp.status == 409
+
+
+# ---------------------------------------------------------------------------
+# Coordinator: respond upgrades
+# ---------------------------------------------------------------------------
+def test_respond_proposes_dram_upgrades():
+    coord = make_paired_coordinator(offer=500)
+    # Does not fit in lease -> DRAM.
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 800})
+    # Lease grows.
+    coord.request("POST", "/lease", {"producer": "p0", "nbytes": 1_000})
+    moves = coord.request("GET", "/respond", {"consumer": "c0"}).body["migrations"]
+    assert moves == {1: "p0"}
+
+
+def test_respond_upgrade_respects_budget():
+    coord = make_paired_coordinator(offer=100)
+    # Both tensors are too big for the 100-byte lease -> DRAM.
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 800})
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 2, "nbytes": 800})
+    # The lease grows to 1100 bytes: room for one tensor, not both.
+    coord.request("POST", "/lease", {"producer": "p0", "nbytes": 1_000})
+    moves = coord.request("GET", "/respond", {"consumer": "c0"}).body["migrations"]
+    assert len(moves) == 1
+
+
+def test_moved_updates_location_and_lease():
+    coord = make_paired_coordinator(offer=1_000)
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 800})
+    assert coord.allocations[1].location == "p0"
+    coord.request("POST", "/moved", {"tensor_id": 1, "location": DRAM})
+    assert coord.allocations[1].location == DRAM
+    assert coord.leases["p0"].used == 0
+
+
+def test_moved_to_full_lease_409():
+    coord = make_paired_coordinator(offer=100)
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 800})
+    resp = coord.request("POST", "/moved", {"tensor_id": 1, "location": "p0"})
+    assert resp.status == 409
+    assert coord.allocations[1].location == DRAM
+
+
+def test_moved_same_location_noop():
+    coord = make_paired_coordinator()
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 100})
+    resp = coord.request("POST", "/moved", {"tensor_id": 1, "location": "p0"})
+    assert resp.ok
+    assert coord.leases["p0"].used == 100
+
+
+def test_stats_endpoint():
+    coord = make_paired_coordinator()
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 100})
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 2, "nbytes": 20_000})
+    stats = coord.request("GET", "/stats").body
+    assert stats["offloaded_bytes"] == 100
+    assert stats["dram_bytes"] == 20_000
+    assert stats["allocations"] == 2
+
+
+def test_offers_endpoint():
+    coord = make_paired_coordinator(offer=5_000)
+    body = coord.request("GET", "/offers").body
+    assert body["leases"]["p0"]["offered"] == 5_000
+
+
+def test_coordinator_thread_safety():
+    """Concurrent allocate/free churn never corrupts lease accounting."""
+    coord = make_paired_coordinator(offer=1_000_000)
+    errors = []
+
+    def churn(base):
+        try:
+            for i in range(200):
+                tid = base + i
+                coord.request(
+                    "POST",
+                    "/allocate",
+                    {"consumer": "c0", "tensor_id": tid, "nbytes": 10},
+                )
+                coord.request("POST", "/free", {"tensor_id": tid})
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=churn, args=(i * 1000,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert coord.leases["p0"].used == 0
+    assert not coord.allocations

@@ -1,0 +1,133 @@
+"""Tests for the llm-informer and batch-informer policies (§B.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aqua import BatchInformer, EngineStats, LlmInformer
+from repro.aqua.informers import Action, Decision
+from repro.hardware.specs import GiB
+
+
+def stats(pending=0, used=0, capacity=40 * GiB, offerable=0, now=0.0):
+    return EngineStats(
+        now=now,
+        pending_requests=pending,
+        kv_used_bytes=used,
+        kv_capacity_bytes=capacity,
+        offerable_bytes=offerable,
+    )
+
+
+# ---------------------------------------------------------------------------
+# LlmInformer
+# ---------------------------------------------------------------------------
+def test_llm_informer_offers_when_idle():
+    informer = LlmInformer(retain_bytes=5 * GiB)
+    decision = informer.decide(stats(pending=0, offerable=30 * GiB), donated_bytes=0)
+    assert decision.action is Action.OFFER
+    assert decision.nbytes == 25 * GiB
+
+
+def test_llm_informer_retains_5gb():
+    informer = LlmInformer(retain_bytes=5 * GiB)
+    decision = informer.decide(stats(offerable=5 * GiB + 1), donated_bytes=0)
+    assert decision.action is Action.HOLD  # below min_offer after retention
+
+
+def test_llm_informer_reclaims_on_queue_buildup():
+    informer = LlmInformer(queue_high=4, window=1)
+    decision = informer.decide(stats(pending=10), donated_bytes=8 * GiB)
+    assert decision.action is Action.RECLAIM
+
+
+def test_llm_informer_no_reclaim_without_donation():
+    informer = LlmInformer(queue_high=4, window=1)
+    decision = informer.decide(stats(pending=10, offerable=0), donated_bytes=0)
+    assert decision.action is Action.HOLD
+
+
+def test_llm_informer_smooths_spikes():
+    """A single spike within the window does not trigger a reclaim."""
+    informer = LlmInformer(queue_high=4, window=3)
+    informer.decide(stats(pending=0), donated_bytes=8 * GiB)
+    informer.decide(stats(pending=0), donated_bytes=8 * GiB)
+    decision = informer.decide(stats(pending=6), donated_bytes=8 * GiB)
+    assert decision.action is not Action.RECLAIM
+    # Sustained pressure does trigger it.
+    informer.decide(stats(pending=6), donated_bytes=8 * GiB)
+    decision = informer.decide(stats(pending=6), donated_bytes=8 * GiB)
+    assert decision.action is Action.RECLAIM
+
+
+def test_llm_informer_holds_at_high_utilization():
+    informer = LlmInformer(low_utilization=0.5)
+    decision = informer.decide(
+        stats(used=35 * GiB, capacity=40 * GiB, offerable=30 * GiB), donated_bytes=0
+    )
+    assert decision.action is Action.HOLD
+
+
+def test_llm_informer_validation():
+    with pytest.raises(ValueError):
+        LlmInformer(retain_bytes=-1)
+    with pytest.raises(ValueError):
+        LlmInformer(min_offer_bytes=0)
+    with pytest.raises(ValueError):
+        LlmInformer(window=0)
+
+
+# ---------------------------------------------------------------------------
+# BatchInformer
+# ---------------------------------------------------------------------------
+def test_batch_informer_donates_free_memory():
+    informer = BatchInformer(margin_bytes=2 * GiB)
+    decision = informer.decide(stats(offerable=50 * GiB), donated_bytes=0)
+    assert decision == Decision.offer(48 * GiB)
+
+
+def test_batch_informer_respects_margin():
+    informer = BatchInformer(margin_bytes=2 * GiB, min_offer_bytes=1 * GiB)
+    decision = informer.decide(stats(offerable=int(2.5 * GiB)), donated_bytes=0)
+    assert decision.action is Action.HOLD
+
+
+def test_batch_informer_never_reclaims():
+    informer = BatchInformer()
+    decision = informer.decide(stats(pending=1000, offerable=0), donated_bytes=10 * GiB)
+    assert decision.action is Action.HOLD
+
+
+def test_batch_informer_validation():
+    with pytest.raises(ValueError):
+        BatchInformer(margin_bytes=-1)
+    with pytest.raises(ValueError):
+        BatchInformer(min_offer_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# EngineStats
+# ---------------------------------------------------------------------------
+def test_kv_utilization():
+    s = stats(used=20 * GiB, capacity=40 * GiB)
+    assert s.kv_utilization == 0.5
+
+
+def test_kv_utilization_zero_capacity():
+    assert stats(capacity=0).kv_utilization == 0.0
+
+
+@given(
+    pending=st.integers(min_value=0, max_value=100),
+    offerable=st.integers(min_value=0, max_value=80 * GiB),
+    donated=st.integers(min_value=0, max_value=80 * GiB),
+)
+@settings(max_examples=100, deadline=None)
+def test_llm_informer_never_offers_more_than_offerable(pending, offerable, donated):
+    """Property: an offer never exceeds what the engine said it can spare."""
+    informer = LlmInformer()
+    decision = informer.decide(stats(pending=pending, offerable=offerable), donated)
+    if decision.action is Action.OFFER:
+        assert 0 < decision.nbytes <= offerable
+    if decision.action is Action.RECLAIM:
+        assert donated > 0

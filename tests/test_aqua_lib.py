@@ -1,0 +1,234 @@
+"""Integration tests for AquaLib + AquaTensor on a simulated server."""
+
+import pytest
+
+from repro.aqua import AquaLib, BatchInformer, Coordinator, EngineStats, LlmInformer
+from repro.aqua.lib import AQUA_OFFER_TAG
+from repro.aqua.tensor import Location
+from repro.hardware import Server
+from repro.hardware.specs import GiB, MB
+from repro.sim import Environment
+
+
+def make_rig(offer_bytes=10 * GiB, gather=True, pair=True):
+    """A 2-GPU server: gpu0 consumer, gpu1 producer with a live lease."""
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    coord = Coordinator()
+    consumer = AquaLib(server.gpus[0], server, coord, gather_enabled=gather)
+    producer = AquaLib(server.gpus[1], server, coord)
+    if pair:
+        coord.pair(consumer.name, producer.name)
+    if offer_bytes:
+        producer.complete_offer(offer_bytes)
+    return env, server, coord, consumer, producer
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+# ---------------------------------------------------------------------------
+# Allocation and placement accounting
+# ---------------------------------------------------------------------------
+def test_offer_reserves_producer_hbm():
+    env, server, coord, consumer, producer = make_rig(offer_bytes=10 * GiB)
+    assert producer.gpu.hbm.held(AQUA_OFFER_TAG) == 10 * GiB
+    assert coord.leases[producer.name].offered == 10 * GiB
+
+
+def test_tensor_lands_on_producer():
+    env, server, coord, consumer, producer = make_rig()
+    t = consumer.to_responsive_tensor(1 * GiB)
+    assert t.on_fast_path
+    assert t.device is producer.gpu
+    # Pool accounting shifted from the offer to the tensor, total unchanged.
+    assert producer.gpu.hbm.held(AQUA_OFFER_TAG) == 9 * GiB
+    assert producer.gpu.hbm.held(t.tag) == 1 * GiB
+    assert producer.gpu.hbm.used == 10 * GiB
+
+
+def test_tensor_falls_back_to_dram():
+    env, server, coord, consumer, producer = make_rig(offer_bytes=0, pair=True)
+    t = consumer.to_responsive_tensor(1 * GiB)
+    assert not t.on_fast_path
+    assert t.device is server.dram
+    assert server.dram.pool.held(t.tag) == 1 * GiB
+
+
+def test_tensor_free_restores_offer():
+    env, server, coord, consumer, producer = make_rig()
+    t = consumer.to_responsive_tensor(1 * GiB)
+    t.free()
+    assert producer.gpu.hbm.held(AQUA_OFFER_TAG) == 10 * GiB
+    assert t.freed
+    t.free()  # idempotent
+    assert coord.leases[producer.name].used == 0
+
+
+def test_tensor_validation():
+    env, server, coord, consumer, producer = make_rig()
+    with pytest.raises(ValueError):
+        consumer.to_responsive_tensor(0)
+    with pytest.raises(ValueError):
+        consumer.to_responsive_tensor(10, pieces=0)
+
+
+# ---------------------------------------------------------------------------
+# Fetch / flush timing: the NVLink fast path
+# ---------------------------------------------------------------------------
+def test_fetch_from_producer_faster_than_dram():
+    nbytes = 512 * MB
+    env1, server1, _, consumer1, _ = make_rig()
+    t_fast = consumer1.to_responsive_tensor(nbytes)
+    run(env1, t_fast.fetch())
+    fast = env1.now
+
+    env2, server2, _, consumer2, _ = make_rig(offer_bytes=0)
+    t_slow = consumer2.to_responsive_tensor(nbytes)
+    run(env2, t_slow.fetch())
+    slow = env2.now
+
+    assert slow / fast > 5
+    assert t_fast.fetch_count == 1
+
+
+def test_gather_beats_naive_scatter():
+    """AQUA's gather kernel coalesces scattered KV pieces (§5)."""
+    nbytes, pieces = 64 * MB, 1024
+    env1, _, _, consumer1, _ = make_rig(gather=True)
+    t1 = consumer1.to_responsive_tensor(nbytes, pieces=pieces)
+    run(env1, t1.fetch())
+
+    env2, _, _, consumer2, _ = make_rig(gather=False)
+    t2 = consumer2.to_responsive_tensor(nbytes, pieces=pieces)
+    run(env2, t2.fetch())
+
+    assert env2.now / env1.now > 5
+
+
+def test_flush_roundtrip():
+    env, server, coord, consumer, producer = make_rig()
+    t = consumer.to_responsive_tensor(128 * MB)
+    run(env, t.flush())
+    assert t.flush_count == 1
+    assert env.now > 0
+
+
+def test_fetch_after_free_rejected():
+    env, server, coord, consumer, producer = make_rig()
+    t = consumer.to_responsive_tensor(1 * MB)
+    t.free()
+    with pytest.raises(RuntimeError):
+        run(env, t.fetch())
+    with pytest.raises(RuntimeError):
+        run(env, t.flush())
+
+
+# ---------------------------------------------------------------------------
+# respond(): reclaim migrations and upgrades
+# ---------------------------------------------------------------------------
+def test_reclaim_migrates_tensors_to_dram():
+    env, server, coord, consumer, producer = make_rig()
+    t = consumer.to_responsive_tensor(2 * GiB)
+    # Producer wants its memory back.
+    informer = LlmInformer(queue_high=4)
+    producer.informer = informer
+    stats = EngineStats(now=0.0, pending_requests=100, offerable_bytes=0)
+    delta = producer.inform_stats(stats)
+    assert delta == 0  # reclaim pending, tensors not yet evacuated
+    assert producer.reclaim_pending
+
+    run(env, consumer.respond())
+    assert t.location is Location.DRAM
+    assert server.dram.pool.held(t.tag) == 2 * GiB
+
+    # Next poll completes the reclaim and returns the donation.
+    delta = producer.inform_stats(stats)
+    assert delta == 10 * GiB
+    assert producer.gpu.hbm.used == 0
+    assert producer.donated_bytes == 0
+
+
+def test_respond_upgrades_dram_tensor_when_lease_appears():
+    env, server, coord, consumer, producer = make_rig(offer_bytes=0)
+    t = consumer.to_responsive_tensor(1 * GiB)
+    assert t.location is Location.DRAM
+    producer.complete_offer(4 * GiB)
+    run(env, consumer.respond())
+    assert t.on_fast_path
+    assert t.device is producer.gpu
+    assert server.dram.pool.used == 0
+
+
+def test_respond_without_migrations_is_instant():
+    env, server, coord, consumer, producer = make_rig()
+    consumer.to_responsive_tensor(1 * GiB)
+    run(env, consumer.respond())
+    assert env.now == 0.0
+
+
+def test_respond_skips_freed_tensors():
+    env, server, coord, consumer, producer = make_rig(offer_bytes=0)
+    t = consumer.to_responsive_tensor(1 * GiB)
+    producer.complete_offer(4 * GiB)
+    t.free()
+    run(env, consumer.respond())
+    assert t.freed
+
+
+def test_respond_blocked_time_accumulates():
+    env, server, coord, consumer, producer = make_rig()
+    t = consumer.to_responsive_tensor(2 * GiB)
+    producer.informer = LlmInformer()
+    producer.inform_stats(EngineStats(now=0.0, pending_requests=100))
+    run(env, consumer.respond())
+    assert consumer.respond_blocked_time > 0
+
+
+# ---------------------------------------------------------------------------
+# inform_stats() contract
+# ---------------------------------------------------------------------------
+def test_inform_stats_requests_offer_when_idle():
+    env, server, coord, consumer, producer = make_rig(offer_bytes=0)
+    producer.informer = LlmInformer(retain_bytes=5 * GiB)
+    stats = EngineStats(
+        now=0.0,
+        pending_requests=0,
+        kv_used_bytes=1 * GiB,
+        kv_capacity_bytes=40 * GiB,
+        offerable_bytes=39 * GiB,
+    )
+    delta = producer.inform_stats(stats)
+    assert delta == -(34 * GiB)  # offer everything above the 5 GiB retention
+
+
+def test_inform_stats_hold_when_no_informer():
+    env, server, coord, consumer, producer = make_rig(offer_bytes=0)
+    assert producer.inform_stats(EngineStats(now=0.0)) == 0
+
+
+def test_complete_offer_validation():
+    env, server, coord, consumer, producer = make_rig(offer_bytes=0)
+    with pytest.raises(ValueError):
+        producer.complete_offer(0)
+
+
+def test_batch_informer_offer_flow():
+    env, server, coord, consumer, producer = make_rig(offer_bytes=0)
+    producer.informer = BatchInformer(margin_bytes=2 * GiB)
+    stats = EngineStats(now=0.0, offerable_bytes=50 * GiB)
+    delta = producer.inform_stats(stats)
+    assert delta == -(48 * GiB)
+    producer.complete_offer(-delta)
+    assert coord.leases[producer.name].offered == 48 * GiB
+
+
+def test_offloaded_byte_counters():
+    env, server, coord, consumer, producer = make_rig(offer_bytes=3 * GiB)
+    consumer.to_responsive_tensor(2 * GiB)  # fast path
+    consumer.to_responsive_tensor(2 * GiB)  # does not fit -> DRAM
+    assert consumer.offloaded_fast_bytes == 2 * GiB
+    assert consumer.offloaded_dram_bytes == 2 * GiB

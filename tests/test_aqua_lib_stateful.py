@@ -1,0 +1,130 @@
+"""Stateful property testing of AQUA-LIB's memory accounting.
+
+Random interleavings of donations, reclaims, tensor allocation/free and
+respond() must keep the producer's HBM pool, the coordinator's lease
+books and the consumer's tensor registry mutually consistent — the
+invariants behind "transparent and elastic" memory management.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.aqua import AquaLib, Coordinator
+from repro.aqua.lib import AQUA_OFFER_TAG
+from repro.aqua.tensor import Location
+from repro.hardware import Server
+from repro.hardware.specs import MB
+from repro.sim import Environment
+
+
+class AquaLibMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.env = Environment()
+        self.server = Server(self.env, n_gpus=2)
+        self.coord = Coordinator()
+        self.consumer = AquaLib(self.server.gpus[0], self.server, self.coord)
+        self.producer = AquaLib(self.server.gpus[1], self.server, self.coord)
+        self.coord.pair(self.consumer.name, self.producer.name)
+        self.tensors = []
+
+    def _drive(self, gen):
+        proc = self.env.process(gen)
+        self.env.run(until=proc)
+
+    # ------------------------------------------------------------------
+    @rule(nbytes=st.integers(min_value=1, max_value=500) )
+    def offer(self, nbytes):
+        if self.producer.reclaim_pending:
+            return
+        self.producer.complete_offer(nbytes * MB)
+
+    @rule()
+    def reclaim(self):
+        if self.producer.donated_bytes == 0 or self.producer.reclaim_pending:
+            return
+        body = self.coord.request(
+            "POST", "/reclaim_request", {"producer": self.producer.name}
+        ).body
+        if body.get("done"):
+            self.producer._finish_reclaim()
+        else:
+            self.producer.reclaim_pending = True
+
+    @rule()
+    def poll_reclaim(self):
+        if not self.producer.reclaim_pending:
+            return
+        body = self.coord.request(
+            "GET", "/reclaim_status", {"producer": self.producer.name}
+        ).body
+        if body["done"]:
+            self.producer._finish_reclaim()
+
+    @rule(nbytes=st.integers(min_value=1, max_value=200))
+    def allocate(self, nbytes):
+        tensor = self.consumer.to_responsive_tensor(nbytes * MB)
+        self.tensors.append(tensor)
+
+    @rule(data=st.data())
+    def free(self, data):
+        live = [t for t in self.tensors if not t.freed]
+        if not live:
+            return
+        tensor = data.draw(st.sampled_from(live))
+        tensor.free()
+
+    @rule()
+    def respond(self):
+        self._drive(self.consumer.respond())
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def producer_pool_accounts_for_donation(self):
+        """offer reservation + parked tensors == donated bytes."""
+        parked = sum(
+            t.nbytes
+            for t in self.tensors
+            if not t.freed and t.location is Location.PRODUCER
+        )
+        offer_held = self.producer.gpu.hbm.held(AQUA_OFFER_TAG)
+        assert offer_held + parked == self.producer.donated_bytes
+
+    @invariant()
+    def lease_usage_matches_parked_tensors(self):
+        lease = self.coord.leases.get(self.producer.name)
+        parked = sum(
+            t.nbytes
+            for t in self.tensors
+            if not t.freed and t.location is Location.PRODUCER
+        )
+        if lease is None:
+            assert parked == 0
+        else:
+            assert lease.used == parked
+            assert lease.offered == self.producer.donated_bytes
+
+    @invariant()
+    def dram_reservations_match_dram_tensors(self):
+        dram_bytes = sum(
+            t.nbytes
+            for t in self.tensors
+            if not t.freed and t.location is Location.DRAM
+        )
+        assert self.server.dram.pool.used == dram_bytes
+
+    @invariant()
+    def registry_matches_live_tensors(self):
+        live_ids = {t.id for t in self.tensors if not t.freed}
+        assert set(self.consumer.tensors) == live_ids
+
+    @invariant()
+    def no_overcommit_on_producer(self):
+        assert 0 <= self.producer.gpu.hbm.used <= self.producer.gpu.hbm.capacity
+
+
+AquaLibMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestAquaLibStateMachine = AquaLibMachine.TestCase

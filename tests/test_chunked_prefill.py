@@ -1,0 +1,126 @@
+"""Tests for chunked prefill (DeepSpeed-FastGen-style prompt ingestion)."""
+
+import pytest
+
+from repro.hardware import Server
+from repro.models import CODELLAMA_34B, MISTRAL_7B
+from repro.serving import Request, VLLMEngine
+from repro.sim import Environment
+from repro.workloads.arrivals import submit_all
+
+
+def make_engine(chunk=512, model=MISTRAL_7B):
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    engine = VLLMEngine(
+        server.gpus[0], server, model, chunked_prefill_tokens=chunk
+    )
+    engine.start()
+    return env, server, engine
+
+
+def test_chunk_validation():
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    with pytest.raises(ValueError):
+        VLLMEngine(server.gpus[0], server, MISTRAL_7B, chunked_prefill_tokens=0)
+
+
+def test_chunked_prefill_completes_requests():
+    env, server, engine = make_engine()
+    requests = [
+        Request(arrival_time=0.0, prompt_tokens=1500, max_new_tokens=20)
+        for _ in range(4)
+    ]
+    submit_all(env, engine, requests)
+    env.run(until=120)
+    assert all(r.done for r in requests)
+    assert engine.prefilling == []
+    assert engine.allocator.used_blocks == 0
+
+
+def test_chunked_prefill_ttft_close_to_whole_prompt():
+    """Chunking adds little to the prompt's own TTFT."""
+
+    def ttft(chunk):
+        env, server, engine = (
+            make_engine(chunk) if chunk else (None, None, None)
+        )
+        if chunk is None:
+            env = Environment()
+            server = Server(env, n_gpus=1)
+            engine = VLLMEngine(server.gpus[0], server, MISTRAL_7B)
+            engine.start()
+        req = Request(arrival_time=0.0, prompt_tokens=2000, max_new_tokens=5)
+        engine.submit(req)
+        env.run(until=60)
+        return req.ttft
+
+    assert ttft(512) < 1.5 * ttft(None)
+
+
+def test_chunked_prefill_smooths_decode_latency():
+    """While a long prompt ingests, already-running requests keep
+    generating — the whole point of chunked prefill."""
+
+    def tokens_during_ingest(chunk):
+        env = Environment()
+        server = Server(env, n_gpus=1)
+        engine = VLLMEngine(
+            server.gpus[0],
+            server,
+            CODELLAMA_34B,
+            chunked_prefill_tokens=chunk,
+        )
+        engine.start()
+        # A chatty request starts first...
+        chatty = Request(arrival_time=0.0, prompt_tokens=100, max_new_tokens=4000)
+        engine.submit(chatty)
+        env.run(until=2.0)
+        tokens_before = chatty.generated_tokens
+        # ...then a massive prompt arrives and starts prefilling.
+        big = Request(arrival_time=2.0, prompt_tokens=12000, max_new_tokens=5)
+        submit_all(env, engine, [big])
+        env.run(until=8.0)
+        return chatty.generated_tokens - tokens_before
+
+    chunked = tokens_during_ingest(512)
+    whole = tokens_during_ingest(None)
+    assert chunked > 1.5 * whole
+
+
+def test_chunked_prefill_respects_max_batch():
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    engine = VLLMEngine(
+        server.gpus[0],
+        server,
+        MISTRAL_7B,
+        chunked_prefill_tokens=256,
+        max_batch=2,
+    )
+    engine.start()
+    requests = [
+        Request(arrival_time=0.0, prompt_tokens=400, max_new_tokens=40)
+        for _ in range(5)
+    ]
+    submit_all(env, engine, requests)
+    peak = [0]
+
+    def watch(env):
+        while True:
+            peak[0] = max(peak[0], len(engine.running) + len(engine.prefilling))
+            yield env.timeout(0.02)
+
+    env.process(watch(env))
+    env.run(until=120)
+    assert all(r.done for r in requests)
+    assert peak[0] <= 2
+
+
+def test_chunked_prefill_with_oversized_prompt_rejects():
+    env, server, engine = make_engine(chunk=512, model=CODELLAMA_34B)
+    huge = Request(arrival_time=0.0, prompt_tokens=200_000, max_new_tokens=5)
+    engine.submit(huge)
+    env.run(until=10)
+    assert huge in engine.rejected

@@ -1,0 +1,82 @@
+"""Tests for the aqua-repro command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig01", "fig07", "fig14", "tables", "e2e"):
+        assert name in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "fig07" in capsys.readouterr().out
+
+
+def test_every_command_has_a_parser():
+    parser = build_parser()
+    # Parsing the bare subcommand name must succeed for every command.
+    for name in COMMANDS:
+        args = parser.parse_args([name])
+        assert args.command == name
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "OPT-30B" in out
+    assert "Parti prompts" in out
+
+
+def test_fig02_command(capsys):
+    assert main(["fig02"]) == 0
+    out = capsys.readouterr().out
+    assert "AudioGen" in out
+    assert "Llama-2-13B" in out
+
+
+def test_fig07_command_with_duration(capsys):
+    assert main(["fig07", "--duration", "15"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "aqua+sd" in out
+
+
+def test_fig14_command_small(capsys):
+    assert main(["fig14", "--gpus", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "mixed_s" in out
+
+
+def test_fig18_command(capsys):
+    assert main(["fig18", "--duration", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "per-consumer tokens" in out
+
+
+def test_e2e_command(capsys):
+    assert main(["e2e"]) == 0
+    out = capsys.readouterr().out
+    assert "balanced" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_all_command_writes_results(tmp_path, capsys):
+    out = tmp_path / "results"
+    assert main(["all", "--out", str(out), "--only", "tables"]) == 0
+    assert (out / "tables.json").exists()
+    assert (out / "manifest.json").exists()
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "--rates", "1", "--count", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "rct_penalty" in out

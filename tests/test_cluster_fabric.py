@@ -1,0 +1,77 @@
+"""Tests for the optional inter-server RDMA fabric."""
+
+import pytest
+
+from repro.hardware import Cluster
+from repro.hardware.cluster import RDMA_200G
+from repro.hardware.interconnect import RoutingError
+from repro.hardware.specs import MB
+from repro.sim import Environment
+
+
+def test_no_fabric_by_default():
+    env = Environment()
+    cluster = Cluster(env, n_servers=2)
+    g_remote = cluster.servers[1].gpus[0]
+    g_local = cluster.servers[0].gpus[0]
+    with pytest.raises(RoutingError):
+        cluster.servers[0].interconnect.route(g_remote, g_local)
+
+
+def test_fabric_connects_all_cross_server_gpu_pairs():
+    env = Environment()
+    cluster = Cluster(env, n_servers=3, gpus_per_server=2, rdma_link=RDMA_200G)
+    for src_server in cluster.servers:
+        for dst_server in cluster.servers:
+            if src_server is dst_server:
+                continue
+            for a in src_server.gpus:
+                for b in dst_server.gpus:
+                    assert src_server.interconnect.connected(a, b)
+                    assert dst_server.interconnect.connected(a, b)
+
+
+def test_cross_server_bandwidth_is_pcie_class():
+    env = Environment()
+    cluster = Cluster(env, n_servers=2, rdma_link=RDMA_200G)
+    server = cluster.servers[0]
+    remote = cluster.servers[1].gpus[0]
+    local = server.gpus[0]
+    nbytes = 256 * MB
+    rdma_t = server.transfer_time(remote, local, nbytes)
+    dram_t = server.transfer_time(server.dram, local, nbytes)
+    nvlink_t = server.transfer_time(server.gpus[1], local, nbytes)
+    assert rdma_t >= dram_t * 0.9
+    assert rdma_t > 5 * nvlink_t
+
+
+def test_fabric_channels_shared_for_contention():
+    """Transfers from two servers into one destination share its NIC."""
+    env = Environment()
+    cluster = Cluster(env, n_servers=3, rdma_link=RDMA_200G)
+    dst = cluster.servers[0].gpus[0]
+    nbytes = 256 * MB
+    one = cluster.servers[1].transfer_time(cluster.servers[1].gpus[0], dst, nbytes)
+
+    def move(env, server, src):
+        yield from server.transfer(src, dst, nbytes)
+
+    env.process(move(env, cluster.servers[1], cluster.servers[1].gpus[0]))
+    env.process(move(env, cluster.servers[2], cluster.servers[2].gpus[0]))
+    env.run()
+    # Ingress NIC serializes: the pair takes about twice one transfer.
+    assert env.now == pytest.approx(2 * one, rel=0.1)
+
+
+def test_fabric_transfer_executes():
+    env = Environment()
+    cluster = Cluster(env, n_servers=2, rdma_link=RDMA_200G)
+    src = cluster.servers[1].gpus[0]
+    dst = cluster.servers[0].gpus[0]
+
+    def move(env):
+        yield from cluster.servers[0].transfer(src, dst, 64 * MB)
+
+    env.process(move(env))
+    env.run()
+    assert env.now > 0

@@ -1,0 +1,121 @@
+"""Stateful property testing of the AQUA coordinator.
+
+Hypothesis drives random sequences of lease / allocate / free / moved /
+reclaim operations against the coordinator and checks its bookkeeping
+invariants after every step — the kind of interleavings a live
+multi-GPU deployment produces.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.aqua import Coordinator
+from repro.aqua.coordinator import DRAM
+
+PRODUCERS = ["p0", "p1"]
+CONSUMERS = ["c0", "c1"]
+
+
+class CoordinatorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.coord = Coordinator()
+        for consumer, producer in zip(CONSUMERS, PRODUCERS):
+            self.coord.pair(consumer, producer)
+        self.next_tensor = 0
+        self.live_tensors: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @rule(producer=st.sampled_from(PRODUCERS), nbytes=st.integers(1, 1000))
+    def lease(self, producer, nbytes):
+        self.coord.request("POST", "/lease", {"producer": producer, "nbytes": nbytes})
+
+    @rule(consumer=st.sampled_from(CONSUMERS), nbytes=st.integers(1, 500))
+    def allocate(self, consumer, nbytes):
+        tensor_id = self.next_tensor
+        self.next_tensor += 1
+        resp = self.coord.request(
+            "POST",
+            "/allocate",
+            {"consumer": consumer, "tensor_id": tensor_id, "nbytes": nbytes},
+        )
+        assert resp.ok
+        assert resp.body["location"] in (DRAM, *PRODUCERS)
+        self.live_tensors.add(tensor_id)
+
+    @rule(data=st.data())
+    def free(self, data):
+        if not self.live_tensors:
+            return
+        tensor_id = data.draw(st.sampled_from(sorted(self.live_tensors)))
+        resp = self.coord.request("POST", "/free", {"tensor_id": tensor_id})
+        assert resp.ok
+        self.live_tensors.discard(tensor_id)
+
+    @rule(data=st.data(), target_dram=st.booleans())
+    def moved(self, data, target_dram):
+        if not self.live_tensors:
+            return
+        tensor_id = data.draw(st.sampled_from(sorted(self.live_tensors)))
+        alloc = self.coord.allocations[tensor_id]
+        target = DRAM if target_dram else self.coord.pairings[alloc.consumer]
+        self.coord.request(
+            "POST", "/moved", {"tensor_id": tensor_id, "location": target}
+        )
+        # 409 (no capacity) is acceptable; state must stay consistent.
+
+    @rule(producer=st.sampled_from(PRODUCERS))
+    def reclaim(self, producer):
+        self.coord.request("POST", "/reclaim_request", {"producer": producer})
+
+    @rule(consumer=st.sampled_from(CONSUMERS))
+    def respond_and_move_all(self, consumer):
+        body = self.coord.request("GET", "/respond", {"consumer": consumer}).body
+        for tensor_id, target in body["migrations"].items():
+            self.coord.request(
+                "POST", "/moved", {"tensor_id": tensor_id, "location": target}
+            )
+
+    @rule(producer=st.sampled_from(PRODUCERS))
+    def poll_reclaim(self, producer):
+        resp = self.coord.request("GET", "/reclaim_status", {"producer": producer})
+        assert resp.ok
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def lease_usage_matches_allocations(self):
+        for producer, lease in self.coord.leases.items():
+            parked = sum(
+                a.nbytes
+                for a in self.coord.allocations.values()
+                if a.location == producer
+            )
+            assert lease.used == parked, (producer, lease.used, parked)
+
+    @invariant()
+    def lease_never_oversubscribed(self):
+        for lease in self.coord.leases.values():
+            assert 0 <= lease.used <= lease.offered
+
+    @invariant()
+    def tensors_parked_only_on_leased_producers(self):
+        for alloc in self.coord.allocations.values():
+            if alloc.location != DRAM:
+                assert alloc.location in self.coord.leases
+
+    @invariant()
+    def allocations_match_live_set(self):
+        assert set(self.coord.allocations) == self.live_tensors
+
+    @invariant()
+    def reclaim_pending_tensors_exist(self):
+        for reclaim in self.coord.reclaims.values():
+            for tensor_id in reclaim.pending_tensors:
+                assert tensor_id in self.coord.allocations
+
+
+CoordinatorMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestCoordinatorStateMachine = CoordinatorMachine.TestCase

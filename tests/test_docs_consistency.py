@@ -1,0 +1,74 @@
+"""Documentation <-> code consistency guards.
+
+DESIGN.md's per-experiment index and EXPERIMENTS.md's bench references
+must point at files that exist, and every example mentioned in the
+README must be present — so the documentation can be trusted as a map
+of the repository.
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def referenced_bench_files(text: str) -> set[str]:
+    names = set(re.findall(r"(test_[a-z0-9_]+\.py)", text))
+    return names
+
+
+def test_design_md_bench_references_exist():
+    text = (ROOT / "DESIGN.md").read_text()
+    for name in referenced_bench_files(text):
+        assert (ROOT / "benchmarks" / name).exists() or (
+            ROOT / "tests" / name
+        ).exists(), f"DESIGN.md references missing file {name}"
+
+
+def test_experiments_md_bench_references_exist():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for name in referenced_bench_files(text):
+        assert (ROOT / "benchmarks" / name).exists(), (
+            f"EXPERIMENTS.md references missing bench {name}"
+        )
+
+
+def test_readme_examples_exist():
+    text = (ROOT / "README.md").read_text()
+    for name in re.findall(r"`([a-z0-9_]+\.py)`", text):
+        if (ROOT / "examples" / name).exists():
+            continue
+        if name.startswith("test_"):
+            hits = list((ROOT / "benchmarks").glob(name)) + list(
+                (ROOT / "tests").glob(name)
+            )
+        else:
+            # Non-example code files mentioned in prose must exist in src/.
+            hits = list((ROOT / "src").rglob(name))
+        assert hits, f"README references missing file {name}"
+
+
+def test_every_paper_figure_has_a_bench():
+    bench_dir = ROOT / "benchmarks"
+    benches = {p.name for p in bench_dir.glob("test_*.py")}
+    for fig in ("fig01", "fig02", "fig03", "fig07", "fig08", "fig09",
+                "fig10", "fig11", "fig12", "fig13", "fig14", "fig18"):
+        assert any(fig in b for b in benches), f"no bench for {fig}"
+    assert any("fig15" in b or "fig15_17" in b for b in benches)
+    assert any("tables" in b for b in benches)
+    assert any("e2e" in b for b in benches)
+
+
+def test_every_example_is_smoke_tested():
+    examples = {p.name for p in (ROOT / "examples").glob("*.py")}
+    test_text = (ROOT / "tests" / "test_examples.py").read_text()
+    for example in examples:
+        assert example in test_text, f"{example} has no smoke test"
+
+
+def test_cli_commands_documented_in_help():
+    from repro.cli import COMMANDS, build_parser
+
+    help_text = build_parser().format_help()
+    for name in COMMANDS:
+        assert name in help_text

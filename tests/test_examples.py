@@ -1,0 +1,76 @@
+"""Smoke tests: every example script runs end-to-end and prints its
+headline output.  Keeps `examples/` from rotting as the library evolves."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "speedup" in out
+    assert "NVLink" in out
+
+
+@pytest.mark.slow
+def test_cluster_placement(capsys):
+    out = run_example("cluster_placement.py", capsys)
+    assert "unmatched consumers: none" in out
+    assert "server0" in out
+
+
+@pytest.mark.slow
+def test_lora_serving(capsys):
+    out = run_example("lora_serving.py", capsys)
+    assert "AQUA improves mean RCT" in out
+
+
+@pytest.mark.slow
+def test_elastic_sharing(capsys):
+    out = run_example("elastic_sharing.py", capsys)
+    assert "consumer tokens total" in out
+    assert "burst" in out
+
+
+@pytest.mark.slow
+def test_responsive_chatbot(capsys):
+    out = run_example("responsive_chatbot.py", capsys)
+    assert "vLLM (batching)" in out
+    assert "AQUA (CFS over NVLink)" in out
+
+
+@pytest.mark.slow
+def test_multi_tenant_cluster(capsys):
+    out = run_example("multi_tenant_cluster.py", capsys)
+    assert "consumer/producer pairs" in out
+
+
+@pytest.mark.slow
+def test_weighted_tenants(capsys):
+    out = run_example("weighted_tenants.py", capsys)
+    assert "premium/standard service ratio" in out
+
+
+@pytest.mark.slow
+def test_calibrate_and_run(capsys):
+    out = run_example("calibrate_and_run.py", capsys)
+    assert "fitted my-nvlink" in out
+    assert "speedup" in out
+
+
+@pytest.mark.slow
+def test_trace_inspection(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # the example writes aqua_trace.json
+    out = run_example("trace_inspection.py", capsys)
+    assert "Chrome trace written" in out
+    assert (tmp_path / "aqua_trace.json").exists()

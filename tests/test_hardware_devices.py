@@ -1,0 +1,342 @@
+"""Tests for GPU/DRAM devices, servers, clusters and DMA transfers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    A100_80G,
+    Cluster,
+    GPU,
+    MemoryPool,
+    OutOfDeviceMemory,
+    Server,
+)
+from repro.hardware.interconnect import RoutingError
+from repro.hardware.specs import GB, MB, GiB
+from repro.sim import Environment
+
+
+# ---------------------------------------------------------------------------
+# MemoryPool
+# ---------------------------------------------------------------------------
+def test_pool_reserve_release_roundtrip():
+    pool = MemoryPool(capacity=100)
+    pool.reserve("weights", 60)
+    assert pool.used == 60
+    assert pool.free == 40
+    pool.release("weights")
+    assert pool.free == 100
+
+
+def test_pool_over_reserve_raises():
+    pool = MemoryPool(capacity=100)
+    pool.reserve("a", 80)
+    with pytest.raises(OutOfDeviceMemory):
+        pool.reserve("b", 30)
+
+
+def test_pool_partial_release():
+    pool = MemoryPool(capacity=100)
+    pool.reserve("kv", 50)
+    released = pool.release("kv", 20)
+    assert released == 20
+    assert pool.held("kv") == 30
+
+
+def test_pool_release_more_than_held_raises():
+    pool = MemoryPool(capacity=100)
+    pool.reserve("kv", 10)
+    with pytest.raises(ValueError):
+        pool.release("kv", 20)
+
+
+def test_pool_tags_accumulate():
+    pool = MemoryPool(capacity=100)
+    pool.reserve("kv", 10)
+    pool.reserve("kv", 15)
+    assert pool.held("kv") == 25
+
+
+def test_pool_invalid_capacity():
+    with pytest.raises(ValueError):
+        MemoryPool(capacity=0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["reserve", "release"]), st.integers(0, 50)),
+        max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_pool_accounting_invariant(ops):
+    """Property: 0 <= used <= capacity under any reserve/release sequence."""
+    pool = MemoryPool(capacity=100)
+    for op, amount in ops:
+        try:
+            if op == "reserve":
+                pool.reserve("t", amount)
+            else:
+                pool.release("t", min(amount, pool.held("t")))
+        except OutOfDeviceMemory:
+            pass
+        assert 0 <= pool.used <= pool.capacity
+        assert pool.free == pool.capacity - pool.used
+
+
+# ---------------------------------------------------------------------------
+# GPU
+# ---------------------------------------------------------------------------
+def test_gpu_compute_op_takes_time():
+    env = Environment()
+    gpu = GPU(env, 0, A100_80G)
+
+    def work(env):
+        yield from gpu.compute_op(0.5)
+
+    env.process(work(env))
+    env.run()
+    assert env.now == pytest.approx(0.5)
+    assert gpu.busy_time == pytest.approx(0.5)
+
+
+def test_gpu_compute_serializes():
+    env = Environment()
+    gpu = GPU(env, 0, A100_80G)
+
+    def work(env):
+        yield from gpu.compute_op(1.0)
+
+    env.process(work(env))
+    env.process(work(env))
+    env.run()
+    assert env.now == pytest.approx(2.0)
+
+
+def test_gpu_compute_dilated_by_copies():
+    env = Environment()
+    gpu = GPU(env, 0, A100_80G)
+    gpu.active_copies = 1
+
+    def work(env):
+        yield from gpu.compute_op(1.0)
+
+    env.process(work(env))
+    env.run()
+    assert env.now == pytest.approx(1.0 * (1 + A100_80G.copy_interference))
+
+
+def test_gpu_negative_duration_rejected():
+    env = Environment()
+    gpu = GPU(env, 0, A100_80G)
+    with pytest.raises(ValueError):
+        list(gpu.compute_op(-1))
+
+
+# ---------------------------------------------------------------------------
+# Server topologies and transfers
+# ---------------------------------------------------------------------------
+def test_p2p_server_routes():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    g0, g1 = server.gpus
+    assert server.interconnect.connected(g0, g1)
+    assert server.interconnect.connected(g1, g0)
+    assert server.interconnect.connected(g0, server.dram)
+    assert server.interconnect.connected(server.dram, g0)
+
+
+def test_nvswitch_server_all_pairs_connected():
+    env = Environment()
+    server = Server(env, n_gpus=8, topology="nvswitch")
+    for a in server.gpus:
+        for b in server.gpus:
+            if a is not b:
+                assert server.interconnect.connected(a, b)
+
+
+def test_route_to_self_rejected():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    g0 = server.gpus[0]
+    with pytest.raises(RoutingError):
+        server.interconnect.route(g0, g0)
+
+
+def test_unknown_topology_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Server(env, n_gpus=2, topology="torus")
+
+
+def test_nvlink_transfer_faster_than_pcie():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    g0, g1 = server.gpus
+    nbytes = 256 * MB
+    nvlink_t = server.transfer_time(g0, g1, nbytes)
+    pcie_t = server.transfer_time(g0, server.dram, nbytes)
+    assert pcie_t / nvlink_t > 5
+
+
+def test_transfer_advances_clock_by_wire_time():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    g0, g1 = server.gpus
+    nbytes = 64 * MB
+    expected = server.transfer_time(g0, g1, nbytes)
+
+    def move(env):
+        yield from server.transfer(g0, g1, nbytes)
+
+    env.process(move(env))
+    env.run()
+    assert env.now == pytest.approx(expected)
+
+
+def test_transfers_on_same_channel_serialize():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    g0, g1 = server.gpus
+    nbytes = 64 * MB
+    one = server.transfer_time(g0, g1, nbytes)
+
+    def move(env):
+        yield from server.transfer(g0, g1, nbytes)
+
+    env.process(move(env))
+    env.process(move(env))
+    env.run()
+    assert env.now == pytest.approx(2 * one)
+
+
+def test_transfers_on_distinct_channels_overlap():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    g0, g1 = server.gpus
+    nbytes = 64 * MB
+    one = server.transfer_time(g0, g1, nbytes)
+
+    def fwd(env):
+        yield from server.transfer(g0, g1, nbytes)
+
+    def bwd(env):
+        yield from server.transfer(g1, g0, nbytes)
+
+    env.process(fwd(env))
+    env.process(bwd(env))
+    env.run()
+    assert env.now == pytest.approx(one)
+
+
+def test_scattered_pieces_pay_latency_per_piece():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    g0, g1 = server.gpus
+    nbytes = 16 * MB
+    gathered = server.transfer_time(g0, g1, nbytes, pieces=1)
+    scattered = server.transfer_time(g0, g1, nbytes, pieces=256)
+    assert scattered > gathered
+    # 256 extra link latencies:
+    assert scattered - gathered == pytest.approx(255 * server.gpu_link.latency)
+
+
+def test_zero_byte_transfer_is_instant():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    g0, g1 = server.gpus
+
+    def move(env):
+        yield from server.transfer(g0, g1, 0)
+
+    env.process(move(env))
+    env.run()
+    assert env.now == 0.0
+
+
+def test_transfer_stats_recorded():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    g0, g1 = server.gpus
+
+    def move(env):
+        yield from server.transfer(g0, g1, 10 * MB)
+
+    env.process(move(env))
+    env.run()
+    assert server.transfer_stats.count == 1
+    assert server.transfer_stats.bytes_total == 10 * MB
+
+
+def test_nvswitch_distinct_pairs_do_not_contend():
+    """Transfers g0->g1 and g2->g3 use disjoint switch ports."""
+    env = Environment()
+    server = Server(env, n_gpus=4, topology="nvswitch")
+    g0, g1, g2, g3 = server.gpus
+    nbytes = 128 * MB
+    one = server.transfer_time(g0, g1, nbytes)
+
+    def move(env, a, b):
+        yield from server.transfer(a, b, nbytes)
+
+    env.process(move(env, g0, g1))
+    env.process(move(env, g2, g3))
+    env.run()
+    assert env.now == pytest.approx(one)
+
+
+def test_nvswitch_shared_egress_contends():
+    """Transfers g0->g1 and g0->g2 share g0's egress port."""
+    env = Environment()
+    server = Server(env, n_gpus=4, topology="nvswitch")
+    g0, g1, g2, _ = server.gpus
+    nbytes = 128 * MB
+    one = server.transfer_time(g0, g1, nbytes)
+
+    def move(env, a, b):
+        yield from server.transfer(a, b, nbytes)
+
+    env.process(move(env, g0, g1))
+    env.process(move(env, g0, g2))
+    env.run()
+    assert env.now == pytest.approx(2 * one)
+
+
+# ---------------------------------------------------------------------------
+# Cluster
+# ---------------------------------------------------------------------------
+def test_cluster_enumerates_gpus():
+    env = Environment()
+    cluster = Cluster(env, n_servers=8, gpus_per_server=2)
+    assert cluster.n_gpus == 16
+    assert len(cluster) == 8
+
+
+def test_cluster_server_of():
+    env = Environment()
+    cluster = Cluster(env, n_servers=2, gpus_per_server=2)
+    gpu = cluster.servers[1].gpus[0]
+    assert cluster.server_of(gpu) is cluster.servers[1]
+
+
+def test_cluster_server_of_foreign_gpu_raises():
+    env = Environment()
+    cluster = Cluster(env, n_servers=2)
+    stranger = GPU(env, 0, A100_80G)
+    with pytest.raises(LookupError):
+        cluster.server_of(stranger)
+
+
+def test_cluster_invalid_size():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Cluster(env, n_servers=0)
+
+
+def test_gpu_free_hbm_matches_pool():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    gpu = server.gpus[0]
+    gpu.hbm.reserve("weights", 26 * GiB)
+    assert gpu.free_hbm == 80 * GiB - 26 * GiB

@@ -1,0 +1,96 @@
+"""Tests for hardware specs and the link cost model (Figure 3a calibration)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    A100_80G,
+    NVLINK3_P2P,
+    PCIE_GEN4_X16,
+    LinkSpec,
+    effective_bandwidth,
+    transfer_time,
+)
+from repro.hardware.specs import GB, MB
+
+
+def test_a100_capacity():
+    assert A100_80G.hbm_bytes == 80 * 1024**3
+    assert A100_80G.effective_flops < A100_80G.fp16_flops
+
+
+def test_nvlink_peak_bandwidth_matches_paper():
+    """Figure 3a: the 2-A100 link saturates near 250 GB/s."""
+    bw = NVLINK3_P2P.effective_bandwidth(1 * GB)
+    assert bw > 0.9 * 250 * GB
+
+
+def test_nvlink_bandwidth_at_2mb_matches_paper():
+    """Figure 3a: NVLink reaches ~100 GB/s at 2 MB transfers."""
+    bw = NVLINK3_P2P.effective_bandwidth(2 * MB)
+    assert 80 * GB < bw < 130 * GB
+
+
+def test_nvlink_small_transfers_are_pcie_slow():
+    """Small NVLink copies are nearly as slow as PCIe (paper §2.3)."""
+    nvlink_small = NVLINK3_P2P.effective_bandwidth(16 * 1024)
+    pcie_large = PCIE_GEN4_X16.effective_bandwidth(64 * MB)
+    assert nvlink_small < pcie_large
+
+
+def test_nvlink_beats_pcie_for_large_transfers():
+    ratio = NVLINK3_P2P.effective_bandwidth(256 * MB) / PCIE_GEN4_X16.effective_bandwidth(
+        256 * MB
+    )
+    assert ratio > 5
+
+
+def test_transfer_time_zero_bytes():
+    assert NVLINK3_P2P.transfer_time(0) == 0.0
+
+
+def test_transfer_time_negative_rejected():
+    with pytest.raises(ValueError):
+        NVLINK3_P2P.transfer_time(-1)
+
+
+def test_effective_bandwidth_zero():
+    assert NVLINK3_P2P.effective_bandwidth(0) == 0.0
+
+
+def test_module_level_wrappers():
+    assert transfer_time(PCIE_GEN4_X16, MB) == PCIE_GEN4_X16.transfer_time(MB)
+    assert effective_bandwidth(PCIE_GEN4_X16, MB) == PCIE_GEN4_X16.effective_bandwidth(MB)
+
+
+@given(nbytes=st.floats(min_value=1, max_value=1e12))
+@settings(max_examples=100, deadline=None)
+def test_effective_bandwidth_below_peak(nbytes):
+    """Property: observed bandwidth never exceeds the link's peak."""
+    assert NVLINK3_P2P.effective_bandwidth(nbytes) <= NVLINK3_P2P.peak_bandwidth
+
+
+@given(
+    a=st.floats(min_value=1, max_value=1e11),
+    b=st.floats(min_value=1, max_value=1e11),
+)
+@settings(max_examples=100, deadline=None)
+def test_effective_bandwidth_monotone_in_size(a, b):
+    """Property: bigger transfers always see >= effective bandwidth."""
+    small, large = sorted((a, b))
+    assert NVLINK3_P2P.effective_bandwidth(large) >= NVLINK3_P2P.effective_bandwidth(
+        small
+    ) - 1e-9
+
+
+@given(
+    peak=st.floats(min_value=1e9, max_value=1e12),
+    latency=st.floats(min_value=1e-7, max_value=1e-3),
+    nbytes=st.floats(min_value=1, max_value=1e10),
+)
+@settings(max_examples=100, deadline=None)
+def test_transfer_time_decomposes(peak, latency, nbytes):
+    """Property: time = latency + payload/peak for any link."""
+    spec = LinkSpec(name="x", peak_bandwidth=peak, latency=latency)
+    assert spec.transfer_time(nbytes) == pytest.approx(latency + nbytes / peak)

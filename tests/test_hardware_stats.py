@@ -1,0 +1,119 @@
+"""Tests for transfer statistics, channel accounting and routes."""
+
+import pytest
+
+from repro.hardware import Server
+from repro.hardware.dma import Transfer, TransferStats
+from repro.hardware.specs import MB
+from repro.sim import Environment
+
+
+def run_transfer(server, src, dst, nbytes, pieces=1):
+    env = server.env
+
+    def move(env):
+        yield from server.transfer(src, dst, nbytes, pieces=pieces)
+
+    proc = env.process(move(env))
+    env.run(until=proc)
+
+
+def test_stats_accumulate_per_route():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    g0, g1 = server.gpus
+    run_transfer(server, g0, g1, 10 * MB)
+    run_transfer(server, g0, g1, 20 * MB)
+    run_transfer(server, g0, server.dram, 5 * MB)
+    stats = server.transfer_stats
+    assert stats.count == 3
+    assert stats.bytes_total == 35 * MB
+    assert stats.busy_time > 0
+    route_key = f"{g0.name}->{g1.name}"
+    assert stats.per_route[route_key] == 30 * MB
+    dram_key = f"{g0.name}->{server.dram.name}"
+    assert stats.per_route[dram_key] == 5 * MB
+
+
+def test_channel_counters():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    g0, g1 = server.gpus
+    run_transfer(server, g0, g1, 16 * MB)
+    channel = server.interconnect.channels[f"{server.name}:nvlink:gpu0->gpu1"]
+    assert channel.transfer_count == 1
+    assert channel.bytes_moved == 16 * MB
+    # The reverse channel is untouched.
+    reverse = server.interconnect.channels[f"{server.name}:nvlink:gpu1->gpu0"]
+    assert reverse.transfer_count == 0
+
+
+def test_nvswitch_route_splits_byte_accounting():
+    env = Environment()
+    server = Server(env, n_gpus=4, topology="nvswitch")
+    g0, g1 = server.gpus[:2]
+    run_transfer(server, g0, g1, 10 * MB)
+    egress = server.interconnect.channels[f"{server.name}:nvswitch-egress:gpu0"]
+    ingress = server.interconnect.channels[f"{server.name}:nvswitch-ingress:gpu1"]
+    # Payload bytes are attributed half to each hop (sum = payload).
+    assert egress.bytes_moved + ingress.bytes_moved == 10 * MB
+
+
+def test_route_latency_and_bottleneck():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="nvswitch")
+    g0, g1 = server.gpus
+    route = server.interconnect.route(g0, g1)
+    assert len(route.channels) == 2
+    assert route.latency == 2 * server.gpu_link.latency
+    assert route.bottleneck_bandwidth == server.gpu_link.peak_bandwidth
+    assert route.transfer_time(0) == 0.0
+    with pytest.raises(ValueError):
+        route.transfer_time(-1)
+    assert route.effective_bandwidth(0) == 0.0
+
+
+def test_transfer_duration_property():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    g0, g1 = server.gpus
+    t = Transfer(env, server.interconnect, g0, g1, 8 * MB)
+    assert t.duration is None
+
+    def move(env):
+        yield from t.run()
+
+    env.process(move(env))
+    env.run()
+    assert t.duration == pytest.approx(
+        server.gpu_link.transfer_time(8 * MB)
+    )
+
+
+def test_transfer_validation():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    g0, g1 = server.gpus
+    with pytest.raises(ValueError):
+        Transfer(env, server.interconnect, g0, g1, -1)
+    with pytest.raises(ValueError):
+        Transfer(env, server.interconnect, g0, g1, 10, pieces=0)
+
+
+def test_stats_record_manual():
+    stats = TransferStats()
+    stats.record("a->b", 100.0, 0.5)
+    stats.record("a->b", 50.0, 0.2)
+    assert stats.count == 2
+    assert stats.per_route["a->b"] == 150.0
+    assert stats.busy_time == pytest.approx(0.7)
+
+
+def test_gpu_dilation_restored_after_transfer():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    g0, g1 = server.gpus
+    run_transfer(server, g0, g1, 64 * MB)
+    assert g0.active_copies == 0
+    assert g1.active_copies == 0
+    assert g0.dilation() == 1.0

@@ -1,0 +1,117 @@
+"""Stateful property testing of the paged KV cache.
+
+Hypothesis drives random admit/append/swap/release sequences and checks
+the block-accounting invariants that the serving engines rely on.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.memory import BlockAllocator, PagedKVCache
+from repro.models import MISTRAL_7B
+
+N_BLOCKS = 64
+BLOCK_TOKENS = 16
+
+
+class KVCacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        allocator = BlockAllocator(
+            n_blocks=N_BLOCKS,
+            block_bytes=MISTRAL_7B.kv_bytes_per_token * BLOCK_TOKENS,
+        )
+        self.cache = PagedKVCache(MISTRAL_7B, allocator, block_tokens=BLOCK_TOKENS)
+        self.next_id = 0
+        self.model_tokens: dict[int, int] = {}  # oracle: seq -> tokens
+        self.swapped: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @rule(tokens=st.integers(min_value=1, max_value=200))
+    def admit(self, tokens):
+        seq_id = self.next_id
+        self.next_id += 1
+        if self.cache.can_admit(tokens):
+            self.cache.admit(seq_id, tokens)
+            self.model_tokens[seq_id] = tokens
+
+    @rule(data=st.data())
+    def append(self, data):
+        resident = [s for s in self.model_tokens if s not in self.swapped]
+        if not resident:
+            return
+        seq_id = data.draw(st.sampled_from(sorted(resident)))
+        if self.cache.can_append(seq_id):
+            self.cache.append_token(seq_id)
+            self.model_tokens[seq_id] += 1
+
+    @rule(data=st.data())
+    def swap_out(self, data):
+        resident = [s for s in self.model_tokens if s not in self.swapped]
+        if not resident:
+            return
+        seq_id = data.draw(st.sampled_from(sorted(resident)))
+        nbytes = self.cache.swap_out(seq_id)
+        assert nbytes == MISTRAL_7B.kv_bytes(self.model_tokens[seq_id])
+        self.swapped.add(seq_id)
+
+    @rule(data=st.data())
+    def swap_in(self, data):
+        if not self.swapped:
+            return
+        seq_id = data.draw(st.sampled_from(sorted(self.swapped)))
+        if self.cache.can_swap_in(seq_id):
+            self.cache.swap_in(seq_id)
+            self.swapped.discard(seq_id)
+
+    @rule(data=st.data())
+    def release(self, data):
+        if not self.model_tokens:
+            return
+        seq_id = data.draw(st.sampled_from(sorted(self.model_tokens)))
+        self.cache.release(seq_id)
+        del self.model_tokens[seq_id]
+        self.swapped.discard(seq_id)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def token_counts_match_oracle(self):
+        for seq_id, tokens in self.model_tokens.items():
+            assert self.cache.sequences[seq_id].tokens == tokens
+
+    @invariant()
+    def resident_blocks_match_token_counts(self):
+        for seq_id, tokens in self.model_tokens.items():
+            seq = self.cache.sequences[seq_id]
+            if seq.is_resident:
+                assert len(seq.blocks) == self.cache.blocks_for(tokens)
+            else:
+                assert seq.blocks == []
+
+    @invariant()
+    def allocator_accounting_consistent(self):
+        allocator = self.cache.allocator
+        held = sum(
+            len(s.blocks) for s in self.cache.sequences.values() if s.is_resident
+        )
+        assert allocator.used_blocks == held
+        assert allocator.used_blocks + allocator.free_blocks == N_BLOCKS
+
+    @invariant()
+    def no_block_shared_between_sequences(self):
+        seen = set()
+        for seq in self.cache.sequences.values():
+            for block in seq.blocks:
+                assert block not in seen
+                seen.add(block)
+
+    @invariant()
+    def swapped_set_matches_cache(self):
+        assert set(self.cache.swapped_sequences) == self.swapped
+
+
+KVCacheMachine.TestCase.settings = settings(
+    max_examples=50, stateful_step_count=50, deadline=None
+)
+TestKVCacheStateMachine = KVCacheMachine.TestCase

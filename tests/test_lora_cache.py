@@ -1,0 +1,142 @@
+"""Tests for the LoRA adapter cache and its load paths (Figures 8, 12)."""
+
+import pytest
+
+from repro.aqua import AquaLib, BatchInformer, Coordinator
+from repro.hardware import Server
+from repro.hardware.specs import GiB, MB
+from repro.models import LoRAAdapter, synthesize_adapters
+from repro.serving import LoRACache
+from repro.sim import Environment
+
+
+def make_cache(aqua=False, capacity=10 * GiB, whole_copy=True, offer=40 * GiB):
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    lib = None
+    if aqua:
+        coord = Coordinator()
+        lib = AquaLib(server.gpus[0], server, coord)
+        producer = AquaLib(server.gpus[1], server, coord, informer=BatchInformer())
+        coord.pair(lib.name, producer.name)
+        producer.complete_offer(offer)
+    cache = LoRACache(
+        server.gpus[0],
+        server,
+        capacity_bytes=capacity,
+        aqua_lib=lib,
+        whole_copy=whole_copy,
+    )
+    return env, server, cache
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+
+
+def test_cache_hit_costs_nothing():
+    env, server, cache = make_cache()
+    adapter = LoRAAdapter("a", nbytes=320 * MB)
+    run(env, cache.ensure(adapter))
+    t_first = env.now
+    run(env, cache.ensure(adapter))
+    assert env.now == t_first
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_cache_lru_eviction():
+    env, server, cache = make_cache(capacity=700 * MB)
+    a = LoRAAdapter("a", nbytes=320 * MB)
+    b = LoRAAdapter("b", nbytes=320 * MB)
+    c = LoRAAdapter("c", nbytes=320 * MB)
+    run(env, cache.ensure(a))
+    run(env, cache.ensure(b))
+    run(env, cache.ensure(c))  # evicts a (LRU)
+    assert not cache.is_resident(a)
+    assert cache.is_resident(b)
+    assert cache.is_resident(c)
+
+
+def test_cache_lru_order_updated_by_hits():
+    env, server, cache = make_cache(capacity=700 * MB)
+    a = LoRAAdapter("a", nbytes=320 * MB)
+    b = LoRAAdapter("b", nbytes=320 * MB)
+    c = LoRAAdapter("c", nbytes=320 * MB)
+    run(env, cache.ensure(a))
+    run(env, cache.ensure(b))
+    run(env, cache.ensure(a))  # refresh a
+    run(env, cache.ensure(c))  # evicts b, not a
+    assert cache.is_resident(a)
+    assert not cache.is_resident(b)
+
+
+def test_cache_capacity_validation():
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    with pytest.raises(ValueError):
+        LoRACache(server.gpus[0], server, capacity_bytes=0)
+
+
+def test_adapter_bigger_than_cache_rejected():
+    env, server, cache = make_cache(capacity=100 * MB)
+    adapter = LoRAAdapter("big", nbytes=320 * MB)
+    with pytest.raises(ValueError):
+        run(env, cache.ensure(adapter))
+
+
+def test_aqua_loads_faster_than_pcie_baseline():
+    """Figure 8: whole-adapter NVLink copies beat per-layer PCIe loads."""
+    adapter = LoRAAdapter("zephyr", nbytes=320 * MB)
+
+    env_base, _, base = make_cache(aqua=False, whole_copy=False)
+    run(env_base, base.ensure(adapter))
+    baseline_time = env_base.now
+
+    env_aqua, _, aqua = make_cache(aqua=True, whole_copy=True)
+    run(env_aqua, aqua.ensure(adapter))
+    aqua_time = env_aqua.now
+
+    assert baseline_time / aqua_time > 4
+
+
+def test_larger_adapters_benefit_more():
+    """Figure 12: AQUA's advantage grows with adapter size."""
+
+    def ratio(nbytes):
+        adapter = LoRAAdapter("x", nbytes=nbytes)
+        env_b, _, base = make_cache(aqua=False, whole_copy=False)
+        run(env_b, base.ensure(adapter))
+        env_a, _, aqua = make_cache(aqua=True, whole_copy=True)
+        run(env_a, aqua.ensure(adapter))
+        return env_b.now - env_a.now  # absolute time saved per load
+
+    assert ratio(320 * MB) > ratio(160 * MB)
+
+
+def test_register_pre_stages_on_producer():
+    env, server, cache = make_cache(aqua=True)
+    adapters = synthesize_adapters(5, 160 * MB)
+    for adapter in adapters:
+        cache.register(adapter)
+    fast = cache.aqua_lib.offloaded_fast_bytes
+    assert fast == 5 * 160 * MB
+
+
+def test_store_overflow_falls_back_to_dram():
+    env, server, cache = make_cache(aqua=True, offer=1 * GiB)
+    adapters = synthesize_adapters(10, 320 * MB)  # 3.2 GB total > 1 GiB lease
+    for adapter in adapters:
+        cache.register(adapter)
+    lib = cache.aqua_lib
+    assert lib.offloaded_fast_bytes <= 1 * GiB
+    assert lib.offloaded_dram_bytes > 0
+
+
+def test_bytes_loaded_counter():
+    env, server, cache = make_cache()
+    adapter = LoRAAdapter("a", nbytes=320 * MB)
+    run(env, cache.ensure(adapter))
+    run(env, cache.ensure(adapter))
+    assert cache.bytes_loaded == 320 * MB

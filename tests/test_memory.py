@@ -1,0 +1,304 @@
+"""Tests for tensors, the block allocator and the paged KV cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import A100_80G, GPU, HostDRAM, MemoryPool, OutOfDeviceMemory
+from repro.memory import AllocationError, BlockAllocator, PagedKVCache, SimTensor
+from repro.models import LLAMA2_13B, MISTRAL_7B
+from repro.sim import Environment
+
+
+# ---------------------------------------------------------------------------
+# SimTensor
+# ---------------------------------------------------------------------------
+def test_tensor_reserves_on_device():
+    env = Environment()
+    gpu = GPU(env, 0, A100_80G)
+    t = SimTensor(1024, device=gpu)
+    assert gpu.hbm.used == 1024
+    assert t.device is gpu
+
+
+def test_tensor_relocate_moves_accounting():
+    env = Environment()
+    gpu = GPU(env, 0, A100_80G)
+    dram = HostDRAM(env, 10**12)
+    t = SimTensor(2048, device=gpu)
+    t.relocate(dram)
+    assert gpu.hbm.used == 0
+    assert dram.pool.used == 2048
+    assert t.device is dram
+
+
+def test_tensor_free_is_idempotent():
+    env = Environment()
+    gpu = GPU(env, 0, A100_80G)
+    t = SimTensor(1024, device=gpu)
+    t.free()
+    t.free()
+    assert gpu.hbm.used == 0
+    assert t.freed
+
+
+def test_tensor_relocate_after_free_rejected():
+    env = Environment()
+    gpu = GPU(env, 0, A100_80G)
+    t = SimTensor(1024, device=gpu)
+    t.free()
+    with pytest.raises(RuntimeError):
+        t.relocate(gpu)
+
+
+def test_tensor_invalid_size():
+    with pytest.raises(ValueError):
+        SimTensor(0)
+
+
+def test_tensor_relocate_fails_when_target_full():
+    env = Environment()
+    gpu = GPU(env, 0, A100_80G)
+    small = HostDRAM(env, 100)
+    t = SimTensor(1024, device=gpu)
+    with pytest.raises(OutOfDeviceMemory):
+        t.relocate(small)
+    # Reservation on the source must be intact after a failed move.
+    assert gpu.hbm.used == 1024
+
+
+def test_tensor_unmaterialized():
+    t = SimTensor(64)
+    assert t.device is None
+    t.free()
+
+
+# ---------------------------------------------------------------------------
+# BlockAllocator
+# ---------------------------------------------------------------------------
+def test_allocator_basic_cycle():
+    alloc = BlockAllocator(n_blocks=10, block_bytes=100)
+    blocks = alloc.allocate(4)
+    assert len(blocks) == 4
+    assert alloc.free_blocks == 6
+    alloc.free(blocks)
+    assert alloc.free_blocks == 10
+
+
+def test_allocator_exhaustion():
+    alloc = BlockAllocator(n_blocks=2, block_bytes=100)
+    alloc.allocate(2)
+    assert not alloc.can_allocate(1)
+    with pytest.raises(AllocationError):
+        alloc.allocate(1)
+
+
+def test_allocator_double_free_rejected():
+    alloc = BlockAllocator(n_blocks=4, block_bytes=100)
+    blocks = alloc.allocate(2)
+    alloc.free(blocks)
+    with pytest.raises(AllocationError):
+        alloc.free(blocks)
+
+
+def test_allocator_reserves_pool():
+    pool = MemoryPool(capacity=1000)
+    alloc = BlockAllocator(n_blocks=5, block_bytes=100, pool=pool)
+    assert pool.used == 500
+    alloc.destroy()
+    assert pool.used == 0
+
+
+def test_allocator_grow():
+    pool = MemoryPool(capacity=1000)
+    alloc = BlockAllocator(n_blocks=2, block_bytes=100, pool=pool)
+    alloc.resize(8)
+    assert alloc.free_blocks == 8
+    assert pool.used == 800
+
+
+def test_allocator_shrink_requires_free_blocks():
+    alloc = BlockAllocator(n_blocks=4, block_bytes=100)
+    held = alloc.allocate(4)
+    with pytest.raises(AllocationError):
+        alloc.resize(2)
+    alloc.free(held)
+    alloc.resize(2)
+    assert alloc.n_blocks == 2
+    assert alloc.free_blocks == 2
+
+
+def test_allocator_shrink_releases_pool_bytes():
+    pool = MemoryPool(capacity=1000)
+    alloc = BlockAllocator(n_blocks=8, block_bytes=100, pool=pool)
+    alloc.resize(3)
+    assert pool.used == 300
+
+
+def test_allocator_resize_noop():
+    alloc = BlockAllocator(n_blocks=4, block_bytes=100)
+    alloc.resize(4)
+    assert alloc.n_blocks == 4
+
+
+def test_allocator_validation():
+    with pytest.raises(ValueError):
+        BlockAllocator(n_blocks=-1, block_bytes=100)
+    with pytest.raises(ValueError):
+        BlockAllocator(n_blocks=1, block_bytes=0)
+    alloc = BlockAllocator(n_blocks=1, block_bytes=1)
+    with pytest.raises(ValueError):
+        alloc.allocate(-1)
+    with pytest.raises(ValueError):
+        alloc.resize(-1)
+
+
+@given(
+    ops=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=30),
+)
+@settings(max_examples=100, deadline=None)
+def test_allocator_never_hands_out_duplicate_blocks(ops):
+    """Property: live blocks are always distinct, counts always consistent."""
+    alloc = BlockAllocator(n_blocks=12, block_bytes=1)
+    live: list[list[int]] = []
+    for want in ops:
+        if alloc.can_allocate(want):
+            live.append(alloc.allocate(want))
+        elif live:
+            alloc.free(live.pop(0))
+        flattened = [b for group in live for b in group]
+        assert len(flattened) == len(set(flattened))
+        assert alloc.used_blocks + alloc.free_blocks == alloc.n_blocks
+        assert alloc.used_blocks == len(flattened)
+
+
+# ---------------------------------------------------------------------------
+# PagedKVCache
+# ---------------------------------------------------------------------------
+def make_cache(n_blocks=64, block_tokens=16, model=LLAMA2_13B):
+    alloc = BlockAllocator(
+        n_blocks=n_blocks, block_bytes=model.kv_bytes_per_token * block_tokens
+    )
+    return PagedKVCache(model, alloc, block_tokens=block_tokens)
+
+
+def test_cache_block_size_must_match():
+    alloc = BlockAllocator(n_blocks=4, block_bytes=123)
+    with pytest.raises(ValueError):
+        PagedKVCache(LLAMA2_13B, alloc, block_tokens=16)
+
+
+def test_cache_admit_and_release():
+    cache = make_cache()
+    seq = cache.admit(1, tokens=40)
+    assert len(seq.blocks) == 3  # ceil(40/16)
+    cache.release(1)
+    assert cache.allocator.free_blocks == 64
+
+
+def test_cache_admit_duplicate_rejected():
+    cache = make_cache()
+    cache.admit(1, tokens=10)
+    with pytest.raises(ValueError):
+        cache.admit(1, tokens=10)
+
+
+def test_cache_append_allocates_at_block_boundary():
+    cache = make_cache()
+    cache.admit(1, tokens=16)
+    assert len(cache.sequences[1].blocks) == 1
+    cache.append_token(1)  # 17th token needs a second block
+    assert len(cache.sequences[1].blocks) == 2
+    cache.append_token(1)  # 18th token does not
+    assert len(cache.sequences[1].blocks) == 2
+
+
+def test_cache_can_admit_respects_capacity():
+    cache = make_cache(n_blocks=4)
+    assert cache.can_admit(64)
+    assert not cache.can_admit(65)
+
+
+def test_cache_swap_out_frees_blocks():
+    cache = make_cache(n_blocks=4)
+    cache.admit(1, tokens=64)
+    assert cache.allocator.free_blocks == 0
+    nbytes = cache.swap_out(1)
+    assert nbytes == LLAMA2_13B.kv_bytes(64)
+    assert cache.allocator.free_blocks == 4
+    assert cache.sequences[1].residency.value == "swapped"
+
+
+def test_cache_swap_in_restores():
+    cache = make_cache()
+    cache.admit(1, tokens=32)
+    cache.swap_out(1)
+    nbytes = cache.swap_in(1)
+    assert nbytes == LLAMA2_13B.kv_bytes(32)
+    assert cache.sequences[1].is_resident
+    assert len(cache.sequences[1].blocks) == 2
+
+
+def test_cache_swapped_sequence_operations_rejected():
+    cache = make_cache()
+    cache.admit(1, tokens=16)
+    cache.swap_out(1)
+    with pytest.raises(AllocationError):
+        cache.append_token(1)
+    with pytest.raises(AllocationError):
+        cache.swap_out(1)
+    cache.swap_in(1)
+    with pytest.raises(AllocationError):
+        cache.swap_in(1)
+
+
+def test_cache_release_swapped_sequence():
+    cache = make_cache()
+    cache.admit(1, tokens=16)
+    cache.swap_out(1)
+    cache.release(1)
+    assert 1 not in cache.sequences
+    assert cache.allocator.free_blocks == 64
+
+
+def test_cache_resident_tokens():
+    cache = make_cache()
+    cache.admit(1, tokens=10)
+    cache.admit(2, tokens=20)
+    cache.swap_out(2)
+    assert cache.resident_tokens == 10
+    assert cache.swapped_sequences == [2]
+    assert cache.resident_sequences == [1]
+
+
+def test_scatter_pieces_counts_layers_and_blocks():
+    cache = make_cache()
+    cache.admit(1, tokens=32)  # 2 blocks
+    assert cache.scatter_pieces(1) == 2 * LLAMA2_13B.n_layers * 2
+
+
+def test_blocks_for_rounding():
+    cache = make_cache()
+    assert cache.blocks_for(0) == 0
+    assert cache.blocks_for(1) == 1
+    assert cache.blocks_for(16) == 1
+    assert cache.blocks_for(17) == 2
+    with pytest.raises(ValueError):
+        cache.blocks_for(-1)
+
+
+@given(
+    seqs=st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=20)
+)
+@settings(max_examples=50, deadline=None)
+def test_cache_swap_roundtrip_preserves_tokens(seqs):
+    """Property: swap out + swap in preserves every sequence's token count."""
+    cache = make_cache(n_blocks=1000, model=MISTRAL_7B)
+    for i, tokens in enumerate(seqs):
+        cache.admit(i, tokens=tokens)
+    for i in range(len(seqs)):
+        cache.swap_out(i)
+    for i, tokens in enumerate(seqs):
+        cache.swap_in(i)
+        assert cache.sequences[i].tokens == tokens
+    assert cache.resident_tokens == sum(seqs)

@@ -1,0 +1,128 @@
+"""Tests for metric collection and percentile math."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import MetricsCollector, Request, TimeSeries, percentile
+
+
+def test_percentile_basics():
+    values = [1, 2, 3, 4, 5]
+    assert percentile(values, 0) == 1
+    assert percentile(values, 50) == 3
+    assert percentile(values, 100) == 5
+
+
+def test_percentile_interpolates():
+    assert percentile([0, 10], 50) == 5
+    assert percentile([0, 10], 25) == 2.5
+
+
+def test_percentile_single_value():
+    assert percentile([7], 95) == 7
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+    with pytest.raises(ValueError):
+        percentile([1], -1)
+
+
+@given(
+    values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+    q=st.floats(min_value=0, max_value=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_percentile_bounded_by_extremes(values, q):
+    """Property: any percentile lies between min and max."""
+    p = percentile(values, q)
+    assert min(values) - 1e-9 <= p <= max(values) + 1e-9
+
+
+def test_timeseries_append_ordered():
+    ts = TimeSeries("x")
+    ts.append(1.0, 10)
+    ts.append(2.0, 20)
+    assert len(ts) == 2
+    assert ts.last() == 20
+    with pytest.raises(ValueError):
+        ts.append(0.5, 5)
+
+
+def test_timeseries_window_sum():
+    ts = TimeSeries("x")
+    for t in range(10):
+        ts.append(float(t), 1.0)
+    assert ts.window_sum(2, 5) == 3.0
+
+
+def finished_request(arrival, first, finish, tokens=10):
+    r = Request(arrival_time=arrival, prompt_tokens=5, max_new_tokens=tokens)
+    r.first_token_time = first
+    r.finish_time = finish
+    r.generated_tokens = tokens
+    return r
+
+
+def test_collector_latency_stats():
+    m = MetricsCollector("test")
+    m.record_completion(finished_request(0, 1, 5))
+    m.record_completion(finished_request(0, 3, 9))
+    assert m.ttfts == [1, 3]
+    assert m.rcts == [5, 9]
+    assert m.mean_ttft() == 2
+    assert m.rct_percentile(100) == 9
+    assert m.sorted_rcts() == [5, 9]
+
+
+def test_collector_throughput_window():
+    m = MetricsCollector("test")
+    for t in [0.5, 1.5, 2.5, 3.5]:
+        m.record_token(t)
+    assert m.tokens_in_window(1, 3) == 2
+    assert m.throughput(0, 4) == 1.0
+    with pytest.raises(ValueError):
+        m.throughput(4, 4)
+
+
+def test_collector_summary():
+    m = MetricsCollector("summary")
+    m.record_completion(finished_request(0, 1, 2))
+    m.record_token(1.0, n=3)
+    s = m.summary()
+    assert s["name"] == "summary"
+    assert s["completed"] == 1
+    assert s["tokens"] == 3
+    assert s["ttft_mean"] == 1
+
+
+def test_collector_empty_summary():
+    s = MetricsCollector("empty").summary()
+    assert "ttft_mean" not in s
+    assert math.isnan(MetricsCollector("empty").mean_rct())
+
+
+def test_request_lifecycle():
+    r = Request(arrival_time=1.0, prompt_tokens=10, max_new_tokens=2)
+    assert not r.done
+    assert r.ttft is None and r.rct is None
+    r.record_token(3.0)
+    assert r.ttft == 2.0
+    assert not r.done
+    r.record_token(4.0)
+    assert r.done
+    assert r.rct == 3.0
+    assert r.total_tokens == 12
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        Request(arrival_time=0, prompt_tokens=0, max_new_tokens=1)
+    with pytest.raises(ValueError):
+        Request(arrival_time=0, prompt_tokens=1, max_new_tokens=0)

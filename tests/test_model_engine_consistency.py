@@ -1,0 +1,102 @@
+"""Self-consistency: engine-measured behaviour matches the rooflines.
+
+These tests close the loop between the analytic performance models and
+the discrete-event engines built on them: what an engine measures in
+steady state must equal what the model predicts, or the simulation's
+figures would not be trustworthy.
+"""
+
+import pytest
+
+from repro.aqua import AquaLib, BatchInformer, Coordinator
+from repro.hardware import Server
+from repro.models import LLAMA2_13B, OPT_30B, SD_15
+from repro.serving import BatchEngine, FlexGenEngine, Request, VLLMEngine
+from repro.sim import Environment
+from repro.workloads.arrivals import submit_all
+
+
+def test_vllm_decode_rate_matches_roofline():
+    """A fixed closed batch decodes at the model-predicted tokens/s."""
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    engine = VLLMEngine(server.gpus[0], server, LLAMA2_13B)
+    engine.start()
+    batch, prompt, gen = 16, 500, 400
+    requests = [
+        Request(arrival_time=0.0, prompt_tokens=prompt, max_new_tokens=gen)
+        for _ in range(batch)
+    ]
+    submit_all(env, engine, requests)
+    env.run(until=600)
+    assert all(r.done for r in requests)
+    # Measure decode-only time: from the first generated token to the end.
+    start = min(r.first_token_time for r in requests)
+    end = max(r.finish_time for r in requests)
+    measured = batch * (gen - 1) / (end - start)
+    predicted = LLAMA2_13B.decode_throughput(
+        server.gpus[0].spec, batch, prompt + gen / 2
+    )
+    assert measured == pytest.approx(predicted, rel=0.15)
+
+
+def test_flexgen_token_time_matches_overlap_model():
+    """FlexGen's decode rate equals max(io, compute) per token."""
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    coord = Coordinator()
+    lib = AquaLib(server.gpus[0], server, coord)
+    producer_lib = AquaLib(server.gpus[1], server, coord, informer=BatchInformer())
+    producer = BatchEngine(server.gpus[1], server, SD_15, aqua_lib=producer_lib)
+    producer.start()
+    coord.pair(lib.name, producer_lib.name)
+    engine = FlexGenEngine(
+        server.gpus[0], server, OPT_30B, aqua_lib=lib, workspace_tokens=8000
+    )
+    engine.start()
+    env.run(until=1.0)
+    req = Request(arrival_time=1.0, prompt_tokens=8000, max_new_tokens=200)
+    submit_all(env, engine, [req])
+    env.run(until=120)
+    assert req.done
+    decode_time = req.finish_time - req.first_token_time
+    measured_per_token = decode_time / (req.max_new_tokens - 1)
+
+    spec = server.gpus[0].spec
+    context_bytes = OPT_30B.kv_bytes(8100)  # mid-generation context
+    io = server.transfer_time(
+        server.gpus[1], server.gpus[0], context_bytes, pieces=1
+    ) + 2 * context_bytes / spec.effective_hbm_bandwidth  # gather staging
+    compute = OPT_30B.decode_step_time(spec, 1, 0)
+    predicted = max(io, compute)
+    assert measured_per_token == pytest.approx(predicted, rel=0.2)
+
+
+def test_batch_engine_rate_matches_model():
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    engine = BatchEngine(server.gpus[0], server, SD_15, batch_size=8)
+    engine.start()
+    requests = [
+        Request(arrival_time=0.0, prompt_tokens=1, max_new_tokens=1)
+        for _ in range(64)
+    ]
+    submit_all(env, engine, requests)
+    env.run(until=600)
+    assert all(r.done for r in requests)
+    finish = max(r.finish_time for r in requests)
+    predicted = 8 * SD_15.batch_time(server.gpus[0].spec, 8)
+    assert finish == pytest.approx(predicted, rel=0.05)
+
+
+def test_transfer_times_match_link_specs():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    g0, g1 = server.gpus
+    for nbytes in (10**6, 10**8):
+        expected = server.gpu_link.transfer_time(nbytes)
+        assert server.transfer_time(g0, g1, nbytes) == pytest.approx(expected)
+        expected_pcie = server.pcie_link.transfer_time(nbytes)
+        assert server.transfer_time(g0, server.dram, nbytes) == pytest.approx(
+            expected_pcie
+        )

@@ -1,0 +1,82 @@
+"""Tests for the mixture-of-experts roofline extension (Mixtral)."""
+
+import pytest
+
+from repro.hardware import A100_80G, H100_80G
+from repro.models.llm import LLAMA2_13B, LLMSpec, MIXTRAL_8X7B
+
+
+def test_dense_models_are_not_moe():
+    assert not LLAMA2_13B.is_moe
+    assert LLAMA2_13B.n_active_params == LLAMA2_13B.n_params
+    assert LLAMA2_13B.weight_read_fraction(1) == 1.0
+
+
+def test_mixtral_is_moe():
+    assert MIXTRAL_8X7B.is_moe
+    assert MIXTRAL_8X7B.n_active_params == pytest.approx(12.9e9)
+
+
+def test_moe_validation():
+    with pytest.raises(ValueError):
+        LLMSpec(
+            "bad", 10e9, n_layers=4, n_heads=4, n_kv_heads=4, head_dim=64,
+            n_active_params=20e9,
+        )
+    with pytest.raises(ValueError):
+        LLMSpec(
+            "bad", 10e9, n_layers=4, n_heads=4, n_kv_heads=4, head_dim=64,
+            n_active_params=-1,
+        )
+
+
+def test_moe_weight_read_grows_with_batch():
+    f1 = MIXTRAL_8X7B.weight_read_fraction(1)
+    f2 = MIXTRAL_8X7B.weight_read_fraction(2)
+    f8 = MIXTRAL_8X7B.weight_read_fraction(8)
+    assert f1 == pytest.approx(12.9 / 46.7, rel=0.01)
+    assert f1 < f2 < f8
+    assert MIXTRAL_8X7B.weight_read_fraction(100) == 1.0
+
+
+def test_moe_single_stream_decode_faster_than_dense_equal_size():
+    """At batch 1 an MoE streams only its active experts, so it decodes
+    faster than a dense model of the same total size."""
+    dense = LLMSpec(
+        "dense-47b", 46.7e9, n_layers=32, n_heads=32, n_kv_heads=8, head_dim=128
+    )
+    moe_step = MIXTRAL_8X7B.decode_step_time(H100_80G, 1, 1000)
+    dense_step = dense.decode_step_time(H100_80G, 1, 1000)
+    assert moe_step < 0.5 * dense_step
+
+
+def test_moe_advantage_shrinks_at_large_batch():
+    dense = LLMSpec(
+        "dense-47b", 46.7e9, n_layers=32, n_heads=32, n_kv_heads=8, head_dim=128
+    )
+    ratio_small = dense.decode_step_time(H100_80G, 1, 1000) / MIXTRAL_8X7B.decode_step_time(
+        H100_80G, 1, 1000
+    )
+    ratio_large = dense.decode_step_time(H100_80G, 32, 32000) / MIXTRAL_8X7B.decode_step_time(
+        H100_80G, 32, 32000
+    )
+    assert ratio_large < ratio_small
+
+
+def test_moe_prefill_uses_active_params():
+    dense = LLMSpec(
+        "dense-47b", 46.7e9, n_layers=32, n_heads=32, n_kv_heads=8, head_dim=128
+    )
+    assert MIXTRAL_8X7B.prefill_time(H100_80G, 4000) < dense.prefill_time(
+        H100_80G, 4000
+    )
+
+
+def test_mixtral_does_not_fit_a100_80g():
+    """Documented constraint: FP16 Mixtral exceeds one A100-80G."""
+    assert MIXTRAL_8X7B.weight_bytes > A100_80G.hbm_bytes
+
+
+def test_mixtral_kv_is_gqa_small():
+    # Same KV geometry as Mistral: 2 * 32 * 8 * 128 * 2.
+    assert MIXTRAL_8X7B.kv_bytes_per_token == 2 * 32 * 8 * 128 * 2

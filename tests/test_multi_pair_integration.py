@@ -1,0 +1,101 @@
+"""Integration: several consumer/producer pairs on one coordinator.
+
+The 8-GPU server hosts multiple AQUA pairs simultaneously; this checks
+that pairings stay isolated (a consumer only lands on *its* producer),
+that concurrent reclaims touch only the right tensors, and that the
+shared coordinator's books balance across the whole server.
+"""
+
+import pytest
+
+from repro.aqua import AquaLib, Coordinator
+from repro.aqua.tensor import Location
+from repro.hardware import Server
+from repro.hardware.specs import GiB
+from repro.sim import Environment
+
+
+def make_pairs(n_pairs=3):
+    env = Environment()
+    server = Server(env, n_gpus=2 * n_pairs, topology="nvswitch")
+    coord = Coordinator()
+    pairs = []
+    for i in range(n_pairs):
+        consumer = AquaLib(server.gpus[i], server, coord)
+        producer = AquaLib(server.gpus[n_pairs + i], server, coord)
+        coord.pair(consumer.name, producer.name)
+        producer.complete_offer(10 * GiB)
+        pairs.append((consumer, producer))
+    return env, server, coord, pairs
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+
+
+def test_tensors_land_on_own_producer():
+    env, server, coord, pairs = make_pairs()
+    for consumer, producer in pairs:
+        tensor = consumer.to_responsive_tensor(1 * GiB)
+        assert tensor.device is producer.gpu
+
+
+def test_reclaim_isolated_to_one_pair():
+    env, server, coord, pairs = make_pairs()
+    tensors = [c.to_responsive_tensor(2 * GiB) for c, _ in pairs]
+    # Pair 0's producer reclaims.
+    (c0, p0) = pairs[0]
+    coord.request("POST", "/reclaim_request", {"producer": p0.name})
+    for consumer, _ in pairs:
+        run(env, consumer.respond())
+    assert tensors[0].location is Location.DRAM
+    # The other pairs were untouched.
+    for tensor, (_, producer) in zip(tensors[1:], pairs[1:]):
+        assert tensor.device is producer.gpu
+
+
+def test_concurrent_fetches_use_disjoint_ports():
+    """Each pair's NVSwitch ports are private: fetches fully overlap."""
+    env, server, coord, pairs = make_pairs()
+    tensors = [c.to_responsive_tensor(4 * GiB) for c, _ in pairs]
+
+    single_env, single_server, single_coord, single_pairs = make_pairs(n_pairs=1)
+    single_tensor = single_pairs[0][0].to_responsive_tensor(4 * GiB)
+    run(single_env, single_tensor.fetch())
+    one = single_env.now
+
+    for tensor in tensors:
+        env.process(tensor.fetch())
+    env.run()
+    assert env.now == pytest.approx(one, rel=0.01)
+
+
+def test_coordinator_books_balance_across_pairs():
+    env, server, coord, pairs = make_pairs()
+    tensors = []
+    for consumer, _ in pairs:
+        tensors.append(consumer.to_responsive_tensor(1 * GiB))
+        tensors.append(consumer.to_responsive_tensor(2 * GiB))
+    stats = coord.request("GET", "/stats").body
+    assert stats["allocations"] == 6
+    assert stats["offloaded_bytes"] == 3 * (1 + 2) * GiB
+    for tensor in tensors:
+        tensor.free()
+    stats = coord.request("GET", "/stats").body
+    assert stats["allocations"] == 0
+    for _, producer in pairs:
+        assert coord.leases[producer.name].used == 0
+
+
+def test_producer_of_one_pair_cannot_receive_other_consumers():
+    env, server, coord, pairs = make_pairs(n_pairs=2)
+    (c0, p0), (c1, p1) = pairs
+    # Fill p1's lease entirely from c1.
+    c1.to_responsive_tensor(10 * GiB)
+    # c0 still allocates on p0 — never spills onto p1.
+    tensor = c0.to_responsive_tensor(5 * GiB)
+    assert tensor.device is p0.gpu
+    # And once p0 is full, c0 falls back to DRAM, not to p1.
+    overflow = c0.to_responsive_tensor(8 * GiB)
+    assert overflow.location is Location.DRAM

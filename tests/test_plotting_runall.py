@@ -1,0 +1,95 @@
+"""Tests for terminal plotting and the run-everything driver."""
+
+import json
+
+import pytest
+
+from repro.experiments.plotting import bar_chart, cdf_chart, line_chart
+from repro.experiments.runall import EXPERIMENTS, run_all
+
+
+# ---------------------------------------------------------------------------
+# Plotting
+# ---------------------------------------------------------------------------
+def test_bar_chart_renders_each_row():
+    out = bar_chart(["aqua", "flexgen"], [900, 120], title="tokens")
+    lines = out.splitlines()
+    assert lines[0] == "tokens"
+    assert lines[1].startswith("aqua")
+    assert lines[1].count("#") > lines[2].count("#")
+
+
+def test_bar_chart_zero_values():
+    out = bar_chart(["a", "b"], [0, 10])
+    assert "a" in out
+    assert out.splitlines()[0].count("#") == 0
+
+
+def test_bar_chart_mismatched_lengths():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1, 2])
+
+
+def test_bar_chart_empty():
+    assert bar_chart([], [], title="t") == "t"
+
+
+def test_line_chart_shape():
+    xs = list(range(100))
+    ys = [x % 20 for x in xs]
+    out = line_chart(xs, ys, height=8, width=40, title="saw")
+    lines = out.splitlines()
+    assert lines[0] == "saw"
+    assert len(lines) == 1 + 8 + 2  # title + rows + axis + x labels
+    assert any("*" in line for line in lines)
+
+
+def test_line_chart_constant_series():
+    out = line_chart([0, 1, 2], [5, 5, 5])
+    assert "*" in out
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart([1], [1, 2])
+    with pytest.raises(ValueError):
+        line_chart([1, 2], [1, 2], height=1)
+
+
+def test_cdf_chart_orders_quantiles():
+    out = cdf_chart({"base": [5, 1, 3, 2, 4], "aqua": [1, 1, 1, 1, 1]}, points=5)
+    lines = out.splitlines()
+    assert lines[0].startswith("rank")
+    base_row = next(l for l in lines if l.startswith("base"))
+    values = [float(v) for v in base_row.split()[1:]]
+    assert values == sorted(values)
+
+
+def test_cdf_chart_empty():
+    assert cdf_chart({}, title="t") == "t"
+
+
+# ---------------------------------------------------------------------------
+# run_all
+# ---------------------------------------------------------------------------
+def test_run_all_writes_json(tmp_path):
+    messages = []
+    manifest = run_all(
+        str(tmp_path), only=["tables", "fig02"], progress=messages.append
+    )
+    assert set(manifest) == {"tables", "fig02"}
+    for entry in manifest.values():
+        data = json.loads(open(entry["path"]).read())
+        assert data
+    assert (tmp_path / "manifest.json").exists()
+    assert any("running tables" in m for m in messages)
+
+
+def test_run_all_unknown_experiment(tmp_path):
+    with pytest.raises(KeyError):
+        run_all(str(tmp_path), only=["fig99"])
+
+
+def test_experiment_registry_covers_paper():
+    for name in ("fig01", "fig07", "fig09", "fig13", "fig14", "tables", "e2e"):
+        assert name in EXPERIMENTS

@@ -1,0 +1,421 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=10.0)
+    assert env.now == 10.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.5)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeout_value_passed_through():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 42
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 42
+    assert p.ok
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc(env))
+    env.run(until=25)
+    assert env.now == 25
+
+
+def test_run_until_event():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(7)
+        return "done"
+
+    p = env.process(proc(env))
+    result = env.run(until=p)
+    assert result == "done"
+    assert env.now == 7
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=100)
+    with pytest.raises(ValueError):
+        env.run(until=50)
+
+
+def test_events_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, delay, name):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc(env, 3, "c"))
+    env.process(proc(env, 1, "a"))
+    env.process(proc(env, 2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1)
+        order.append(name)
+
+    for name in "abcd":
+        env.process(proc(env, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_nested_process_waiting():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(5)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return result
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "child-result"
+
+
+def test_event_succeed_resumes_waiter():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter(env):
+        value = yield gate
+        seen.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(4)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert seen == [(4, "open")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_event_value_before_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_failure_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("bad")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="bad"):
+        env.run()
+
+
+def test_handled_child_failure_does_not_propagate():
+    env = Environment()
+    caught = []
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("bad")
+
+    def parent(env):
+        try:
+            yield env.process(bad(env))
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(parent(env))
+    env.run()
+    assert caught == ["bad"]
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    with pytest.raises(SimulationError):
+        env.process(bad(env))
+        env.run()
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(2, value="a")
+        t2 = env.timeout(5, value="b")
+        results = yield AllOf(env, [t1, t2])
+        return sorted(results.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert env.now == 5
+    assert p.value == ["a", "b"]
+
+
+def test_any_of_waits_for_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(2, value="fast")
+        t2 = env.timeout(5, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        return list(results.values())
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    assert env.now == 2
+    assert p.value == ["fast"]
+
+
+def test_and_or_operators():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1) & env.timeout(2)
+        mid = env.now
+        yield env.timeout(10) | env.timeout(3)
+        return (mid, env.now)
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    assert p.value == (2, 5)
+
+
+def test_empty_all_of_succeeds_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield AllOf(env, [])
+        return result
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {}
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    seen = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            seen.append((env.now, intr.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt(cause="wake-up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert seen == [(3, "wake-up")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+
+    def selfish(env):
+        with pytest.raises(SimulationError):
+            env.active_process.interrupt()
+        yield env.timeout(1)
+
+    env.process(selfish(env))
+    env.run()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(5)
+        log.append(("finished", env.now))
+
+    def interrupter(env, victim):
+        yield env.timeout(2)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("interrupted", 2), ("finished", 7)]
+
+
+def test_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_peek_returns_next_event_time():
+    env = Environment()
+    env.timeout(9)
+    assert env.peek() == 9
+
+
+def test_peek_empty_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_run_until_event_that_never_fires_raises():
+    env = Environment()
+    gate = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=gate)
+
+
+def test_many_processes_complete():
+    env = Environment()
+    done = []
+
+    def proc(env, i):
+        yield env.timeout(i % 7 + 1)
+        done.append(i)
+
+    for i in range(500):
+        env.process(proc(env, i))
+    env.run()
+    assert sorted(done) == list(range(500))
+
+
+def test_zero_delay_timeout_runs_at_same_time():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0

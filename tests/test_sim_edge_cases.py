@@ -1,0 +1,190 @@
+"""Edge-case tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, SimulationError
+
+
+def test_anyof_with_failure_propagates():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def proc(env):
+        try:
+            yield AnyOf(env, [gate, env.timeout(100)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(proc(env))
+    env.process(failer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_allof_failure_short_circuits():
+    env = Environment()
+    caught = []
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("child died")
+
+    def proc(env):
+        try:
+            yield AllOf(env, [env.process(bad(env)), env.timeout(100)])
+        except ValueError as exc:
+            caught.append((str(exc), env.now))
+
+    env.process(proc(env))
+    env.run()
+    # The failure propagated at t=1 without waiting for the timeout.
+    assert caught == [("child died", 1)]
+
+
+def test_nested_conditions():
+    env = Environment()
+
+    def proc(env):
+        inner = env.timeout(2) & env.timeout(3)
+        outer = inner | env.timeout(10)
+        yield outer
+        return env.now
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    assert p.value == 3
+
+
+def test_interrupt_while_waiting_on_condition():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(50) & env.timeout(60)
+        except Interrupt:
+            log.append(env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(5)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [5]
+
+
+def test_double_interrupt_delivers_both():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        for _ in range(2):
+            try:
+                yield env.timeout(100)
+            except Interrupt as intr:
+                log.append(intr.cause)
+
+    def interrupter(env, victim):
+        yield env.timeout(1)
+        victim.interrupt("first")
+        yield env.timeout(1)
+        victim.interrupt("second")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == ["first", "second"]
+
+
+def test_event_trigger_copies_state():
+    env = Environment()
+    src = env.event()
+    dst = env.event()
+    src.callbacks.append(dst.trigger)
+    src.succeed("payload")
+    env.run()
+    assert dst.value == "payload"
+
+
+def test_event_trigger_copies_failure():
+    env = Environment()
+    src = env.event()
+    dst = env.event()
+    src.callbacks.append(dst.trigger)
+    dst_caught = []
+
+    def waiter(env):
+        try:
+            yield dst
+        except RuntimeError as exc:
+            dst_caught.append(str(exc))
+
+    env.process(waiter(env))
+    src.fail(RuntimeError("relayed"))
+    src._defused = True
+    env.run()
+    assert dst_caught == ["relayed"]
+
+
+def test_wait_on_already_processed_event():
+    env = Environment()
+    done = env.event()
+    done.succeed("early")
+    env.run()
+
+    def late(env):
+        value = yield done
+        return value
+
+    p = env.process(late(env))
+    env.run()
+    assert p.value == "early"
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_process_returning_generator_value():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(1)
+        return {"complex": [1, 2, 3]}
+
+    def outer(env):
+        result = yield env.process(inner(env))
+        return result["complex"]
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == [1, 2, 3]
+
+
+def test_simulation_determinism():
+    """Two identical simulations produce identical event timings."""
+
+    def build_and_run():
+        env = Environment()
+        log = []
+
+        def worker(env, i):
+            for step in range(5):
+                yield env.timeout(0.1 * ((i + step) % 3 + 1))
+                log.append((round(env.now, 6), i, step))
+
+        for i in range(10):
+            env.process(worker(env, i))
+        env.run()
+        return log
+
+    assert build_and_run() == build_and_run()

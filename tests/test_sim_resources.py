@@ -1,0 +1,282 @@
+"""Unit and property tests for simulation resources."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+from repro.sim.resources import PriorityResource
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    granted = []
+
+    def user(env, name):
+        with res.request() as req:
+            yield req
+            granted.append((name, env.now))
+            yield env.timeout(10)
+
+    for name in "abc":
+        env.process(user(env, name))
+    env.run()
+    assert granted == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_count_tracks_usage():
+    env = Environment()
+    res = Resource(env, capacity=3)
+
+    def user(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    for _ in range(2):
+        env.process(user(env))
+    env.run(until=1)
+    assert res.count == 2
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, name, start):
+        yield env.timeout(start)
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(100)
+
+    env.process(user(env, "first", 0))
+    env.process(user(env, "second", 1))
+    env.process(user(env, "third", 2))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_priority_resource_serves_low_priority_number_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def user(env, name, priority):
+        yield env.timeout(1)
+        with res.request(priority=priority) as req:
+            yield req
+            order.append(name)
+
+    env.process(holder(env))
+    env.process(user(env, "low-pri", 5))
+    env.process(user(env, "high-pri", 1))
+    env.run()
+    assert order == ["high-pri", "low-pri"]
+
+
+def test_release_unknown_request_is_noop():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    env.run()
+    res.release(req)
+    res.release(req)  # double release must not corrupt state
+    assert res.count == 0
+
+
+def test_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    env.process(holder(env))
+    env.run(until=1)
+    queued = res.request()
+    assert not queued.triggered
+    queued.cancel()
+    env.run()
+    assert res.count == 0
+    assert not queued.triggered
+
+
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield env.timeout(1)
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [(1, 0), (2, 1), (3, 2)]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    times = []
+
+    def consumer(env):
+        item = yield store.get()
+        times.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(9)
+        yield store.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert times == [(9, "x")]
+
+
+def test_store_bounded_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        log.append(("put-a", env.now))
+        yield store.put("b")
+        log.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(5)
+        item = yield store.get()
+        log.append((f"got-{item}", env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("put-a", 0) in log
+    assert ("put-b", 5) in log
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_size():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert store.size == 2
+
+
+def test_store_cancel_get():
+    env = Environment()
+    store = Store(env)
+    get_ev = store.get()
+    store.cancel_get(get_ev)
+    store.put("x")
+    env.run()
+    assert not get_ev.triggered
+    assert store.size == 1
+
+
+@given(
+    holds=st.lists(st.floats(min_value=0.01, max_value=10), min_size=1, max_size=20),
+    capacity=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=50, deadline=None)
+def test_resource_never_exceeds_capacity(holds, capacity):
+    """Property: at no point do more than `capacity` users hold the resource."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    max_seen = [0]
+
+    def user(env, hold):
+        with res.request() as req:
+            yield req
+            max_seen[0] = max(max_seen[0], res.count)
+            yield env.timeout(hold)
+
+    for hold in holds:
+        env.process(user(env, hold))
+    env.run()
+    assert max_seen[0] <= capacity
+    assert res.count == 0
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_store_preserves_fifo_order(items):
+    """Property: items come out of a store in the order they went in."""
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in items:
+            item = yield store.get()
+            out.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert out == items
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=30
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_clock_is_monotonic(delays):
+    """Property: observed simulation times never decrease."""
+    env = Environment()
+    observed = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    def chained(env):
+        for delay in delays:
+            yield env.timeout(delay)
+            observed.append(env.now)
+
+    for delay in delays:
+        env.process(proc(env, delay))
+    env.process(chained(env))
+    env.run()
+    assert observed == sorted(observed)

@@ -1,0 +1,76 @@
+"""Tests for replication statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.stats import (
+    Spread,
+    coefficient_of_variation,
+    mean_std,
+    replicate,
+    summarize_replicates,
+)
+
+
+def test_mean_std_basic():
+    s = mean_std([1.0, 2.0, 3.0])
+    assert s.mean == 2.0
+    assert s.std == pytest.approx(1.0)
+    assert s.n == 3
+    assert s.stderr == pytest.approx(1.0 / 3**0.5)
+
+
+def test_mean_std_single_value():
+    s = mean_std([5.0])
+    assert s.mean == 5.0
+    assert s.std == 0.0
+
+
+def test_mean_std_empty_rejected():
+    with pytest.raises(ValueError):
+        mean_std([])
+
+
+def test_spread_str():
+    assert "n=2" in str(mean_std([1, 2]))
+
+
+def test_replicate_runs_each_seed():
+    results = replicate(lambda seed: {"seed": seed, "x": seed * 2}, seeds=[1, 2, 3])
+    assert [r["seed"] for r in results] == [1, 2, 3]
+    with pytest.raises(ValueError):
+        replicate(lambda s: {}, seeds=[])
+
+
+def test_summarize_replicates():
+    results = [{"a": 1.0, "b": 10.0}, {"a": 3.0, "b": 10.0}]
+    summary = summarize_replicates(results, ["a", "b"])
+    assert summary["a"].mean == 2.0
+    assert summary["b"].std == 0.0
+
+
+def test_summarize_missing_key_raises():
+    with pytest.raises(KeyError):
+        summarize_replicates([{"a": 1.0}, {}], ["a"])
+
+
+def test_coefficient_of_variation():
+    assert coefficient_of_variation(Spread(mean=10, std=1, n=3)) == pytest.approx(0.1)
+    assert coefficient_of_variation(Spread(mean=0, std=0, n=3)) == 0.0
+    assert coefficient_of_variation(Spread(mean=0, std=1, n=3)) == float("inf")
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=40
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_mean_std_properties(values):
+    """Property: mean within [min, max]; std is non-negative."""
+    s = mean_std(values)
+    assert min(values) - 1e-9 <= s.mean <= max(values) + 1e-9
+    assert s.std >= 0
+    if len(set(values)) == 1:
+        assert s.std == pytest.approx(0.0, abs=1e-6)

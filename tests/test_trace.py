@@ -1,0 +1,130 @@
+"""Tests for the tracing module and its engine integration."""
+
+import json
+
+import pytest
+
+from repro.hardware import Server
+from repro.models import CODELLAMA_34B, MISTRAL_7B
+from repro.serving import CFSEngine, Request, VLLMEngine
+from repro.sim import Environment
+from repro.trace import Tracer
+from repro.workloads.arrivals import submit_all
+
+
+# ---------------------------------------------------------------------------
+# Tracer primitives
+# ---------------------------------------------------------------------------
+def test_add_span_and_queries():
+    tracer = Tracer()
+    tracer.add_span("work", "t0", 1.0, 3.0, batch=4)
+    tracer.add_span("work", "t0", 5.0, 6.0)
+    tracer.add_span("other", "t1", 0.0, 1.0)
+    assert tracer.total_time("t0") == 3.0
+    assert tracer.total_time("t0", name="work") == 3.0
+    assert len(tracer.spans_on("t1")) == 1
+    assert len(tracer) == 3
+
+
+def test_span_end_before_start_rejected():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        tracer.add_span("bad", "t", 2.0, 1.0)
+
+
+def test_span_context_manager_uses_clock():
+    now = [0.0]
+    tracer = Tracer(clock=lambda: now[0])
+    with tracer.span("step", "engine"):
+        now[0] = 2.5
+    (span,) = tracer.spans
+    assert span.start == 0.0
+    assert span.end == 2.5
+
+
+def test_instant_requires_clock_or_time():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        tracer.add_instant("x", "t")
+    tracer.add_instant("x", "t", time=1.0)
+    assert tracer.instants[0].time == 1.0
+
+
+def test_utilization_merges_overlaps():
+    tracer = Tracer()
+    tracer.add_span("a", "t", 0.0, 4.0)
+    tracer.add_span("b", "t", 2.0, 6.0)  # overlaps a
+    assert tracer.utilization("t", 0.0, 10.0) == pytest.approx(0.6)
+    assert tracer.utilization("t", 0.0, 6.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        tracer.utilization("t", 5.0, 5.0)
+
+
+def test_utilization_clips_to_window():
+    tracer = Tracer()
+    tracer.add_span("a", "t", -5.0, 100.0)
+    assert tracer.utilization("t", 0.0, 10.0) == pytest.approx(1.0)
+
+
+def test_chrome_export_roundtrip(tmp_path):
+    tracer = Tracer()
+    tracer.add_span("work", "engine", 1.0, 2.0, batch=3)
+    tracer.add_instant("reclaim", "aqua", time=1.5)
+    path = tmp_path / "trace.json"
+    tracer.export_json(str(path))
+    data = json.loads(path.read_text())
+    events = data["traceEvents"]
+    kinds = {e["ph"] for e in events}
+    assert kinds == {"M", "X", "i"}
+    x = next(e for e in events if e["ph"] == "X")
+    assert x["ts"] == 1.0e6 and x["dur"] == 1.0e6
+    assert x["args"] == {"batch": 3}
+
+
+# ---------------------------------------------------------------------------
+# Engine integration
+# ---------------------------------------------------------------------------
+def test_vllm_records_prefill_and_decode_spans():
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    tracer = Tracer(clock=lambda: env.now)
+    engine = VLLMEngine(server.gpus[0], server, MISTRAL_7B, tracer=tracer)
+    engine.start()
+    engine.submit(Request(arrival_time=0.0, prompt_tokens=100, max_new_tokens=20))
+    env.run(until=30)
+    names = {s.name for s in tracer.spans}
+    assert names == {"prefill", "decode"}
+    assert len([s for s in tracer.spans if s.name == "decode"]) == 19
+
+
+def test_cfs_records_slices_and_switches():
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    tracer = Tracer(clock=lambda: env.now)
+    engine = CFSEngine(
+        server.gpus[0], server, CODELLAMA_34B, slice_tokens=5, tracer=tracer
+    )
+    engine.start()
+    requests = [
+        Request(arrival_time=0.0, prompt_tokens=3000, max_new_tokens=30)
+        for _ in range(16)
+    ]
+    submit_all(env, engine, requests)
+    env.run(until=900)
+    names = {s.name for s in tracer.spans}
+    assert "slice" in names
+    assert "context-switch" in names
+    # Trace accounting agrees with the engine's own counter.
+    assert tracer.total_time(engine.name, "context-switch") == pytest.approx(
+        engine.context_switch_time
+    )
+
+
+def test_engine_without_tracer_records_nothing():
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    engine = VLLMEngine(server.gpus[0], server, MISTRAL_7B)
+    engine.start()
+    engine.submit(Request(arrival_time=0.0, prompt_tokens=50, max_new_tokens=5))
+    env.run(until=10)
+    assert engine.tracer is None  # and nothing crashed

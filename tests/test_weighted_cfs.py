@@ -1,0 +1,134 @@
+"""Tests for weighted fair scheduling and the §B paper-API aliases."""
+
+import pytest
+
+from repro.aqua import AquaLib, Coordinator
+from repro.aqua.coordinator import DRAM
+from repro.aqua.tensor import AquaTensor
+from repro.hardware import Server
+from repro.hardware.specs import GiB
+from repro.models import CODELLAMA_34B
+from repro.serving import Request, WeightedCFSEngine
+from repro.sim import Environment
+from repro.workloads.arrivals import submit_all
+
+
+# ---------------------------------------------------------------------------
+# WeightedCFSEngine
+# ---------------------------------------------------------------------------
+def run_weighted(weights, n_per_class=8, until=400.0):
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    engine = WeightedCFSEngine(
+        server.gpus[0], server, CODELLAMA_34B, slice_tokens=5
+    )
+    engine.start()
+    classes = {}
+    for weight in weights:
+        reqs = [
+            Request(
+                arrival_time=0.0,
+                prompt_tokens=3000,
+                max_new_tokens=500,
+                weight=weight,
+            )
+            for _ in range(n_per_class)
+        ]
+        submit_all(env, engine, reqs)
+        classes[weight] = reqs
+    env.run(until=until)
+    return classes
+
+
+def test_weight_validation():
+    with pytest.raises(ValueError):
+        Request(arrival_time=0, prompt_tokens=1, max_new_tokens=1, weight=0)
+
+
+def test_heavier_class_gets_more_service():
+    # Sample mid-contention, before either class can finish.
+    classes = run_weighted([1.0, 4.0], until=40.0)
+    light = sum(r.generated_tokens for r in classes[1.0])
+    heavy = sum(r.generated_tokens for r in classes[4.0])
+    assert not all(r.done for r in classes[4.0])
+    # Not exactly 4x (slice quantization), but clearly differentiated.
+    assert heavy > 2 * light
+
+
+def test_equal_weights_equal_service():
+    classes = run_weighted([1.0, 1.0 + 1e-12], until=40.0)
+    a, b = (sum(r.generated_tokens for r in reqs) for reqs in classes.values())
+    assert abs(a - b) / max(a, b) < 0.3
+
+
+def test_weighted_engine_completes_everything_eventually():
+    classes = run_weighted([1.0, 4.0], n_per_class=4, until=1200.0)
+    for reqs in classes.values():
+        assert all(r.done for r in reqs)
+
+
+# ---------------------------------------------------------------------------
+# Paper-API aliases (§B.1)
+# ---------------------------------------------------------------------------
+def make_libs(offer=8 * GiB):
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    coord = Coordinator()
+    consumer = AquaLib(server.gpus[0], server, coord)
+    producer = AquaLib(server.gpus[1], server, coord)
+    coord.pair(consumer.name, producer.name)
+    if offer:
+        producer.complete_offer(offer)
+    return env, server, consumer, producer
+
+
+def test_allocate_aqua_tensor_places_and_registers():
+    env, server, consumer, producer = make_libs()
+    tensor = AquaTensor(consumer, 1 * GiB)
+    location = consumer.allocate_aqua_tensor(tensor)
+    assert location == producer.name
+    assert tensor.id in consumer.tensors
+
+
+def test_get_tensors_to_move_reports_reclaim():
+    env, server, consumer, producer = make_libs()
+    tensor = consumer.to_responsive_tensor(1 * GiB)
+    coord = consumer.coordinator
+    coord.request("POST", "/reclaim_request", {"producer": producer.name})
+    moves = consumer.get_tensors_to_move()
+    assert moves == {tensor.id: DRAM}
+
+
+def test_done_moving_tensors_publishes():
+    env, server, consumer, producer = make_libs()
+    tensor = consumer.to_responsive_tensor(1 * GiB)
+    coord = consumer.coordinator
+    coord.request("POST", "/reclaim_request", {"producer": producer.name})
+    moves = consumer.get_tensors_to_move()
+    consumer.done_moving_tensors(moves)
+    status = coord.request("GET", "/reclaim_status", {"producer": producer.name}).body
+    assert status["done"]
+
+
+def test_to_torch_tensor_pointer_staleness():
+    env, server, consumer, producer = make_libs(offer=0)
+    tensor = consumer.to_responsive_tensor(1 * GiB)
+    pointer = tensor.to_torch_tensor()
+    assert pointer.device is server.dram
+    assert not pointer.stale
+    # A migration (upgrade to the producer) invalidates old pointers.
+    producer.complete_offer(4 * GiB)
+    proc = env.process(consumer.respond())
+    env.run(until=proc)
+    assert pointer.stale
+    fresh = tensor.to_torch_tensor()
+    assert fresh.device is producer.gpu
+    assert not fresh.stale
+
+
+def test_to_torch_tensor_on_freed_rejected():
+    env, server, consumer, producer = make_libs()
+    tensor = consumer.to_responsive_tensor(1 * GiB)
+    tensor.free()
+    with pytest.raises(RuntimeError):
+        tensor.to_torch_tensor()

@@ -1,0 +1,150 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.models import synthesize_adapters
+from repro.workloads import (
+    ShareGPTSampler,
+    long_prompt_requests,
+    lora_requests,
+    poisson_arrival_times,
+    producer_requests,
+    sharegpt_requests,
+)
+
+
+def test_poisson_rate_roughly_matches():
+    rng = np.random.default_rng(0)
+    times = poisson_arrival_times(rng, rate=5.0, count=5000)
+    measured = len(times) / times[-1]
+    assert 4.5 < measured < 5.5
+
+
+def test_poisson_times_increasing():
+    rng = np.random.default_rng(1)
+    times = poisson_arrival_times(rng, rate=2.0, count=100)
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_poisson_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        poisson_arrival_times(rng, rate=0, count=10)
+    with pytest.raises(ValueError):
+        poisson_arrival_times(rng, rate=1, count=-1)
+
+
+def test_poisson_start_offset():
+    rng = np.random.default_rng(0)
+    times = poisson_arrival_times(rng, rate=1.0, count=10, start=100.0)
+    assert times[0] > 100.0
+
+
+def test_sharegpt_lengths_in_range():
+    sampler = ShareGPTSampler(seed=0)
+    for _ in range(500):
+        prompt, response = sampler.sample()
+        assert 8 <= prompt <= 2048
+        assert 4 <= response <= 1024
+
+
+def test_sharegpt_median_realistic():
+    sampler = ShareGPTSampler(seed=0)
+    prompts, responses = zip(*(sampler.sample() for _ in range(2000)))
+    assert 100 < np.median(prompts) < 260
+    assert 130 < np.median(responses) < 320
+
+
+def test_sharegpt_deterministic_by_seed():
+    a = sharegpt_requests(rate=5, count=20, seed=42)
+    b = sharegpt_requests(rate=5, count=20, seed=42)
+    assert [(r.arrival_time, r.prompt_tokens, r.max_new_tokens) for r in a] == [
+        (r.arrival_time, r.prompt_tokens, r.max_new_tokens) for r in b
+    ]
+
+
+def test_sharegpt_seeds_differ():
+    a = sharegpt_requests(rate=5, count=20, seed=1)
+    b = sharegpt_requests(rate=5, count=20, seed=2)
+    assert [r.prompt_tokens for r in a] != [r.prompt_tokens for r in b]
+
+
+def test_long_prompt_defaults():
+    (req,) = long_prompt_requests()
+    assert req.prompt_tokens == 8000
+    assert req.max_new_tokens >= 10_000
+
+
+def test_long_prompt_validation():
+    with pytest.raises(ValueError):
+        long_prompt_requests(count=0)
+
+
+def test_lora_random_assignment_has_repeats():
+    adapters = synthesize_adapters(5, 320 * 10**6)
+    requests = lora_requests(adapters, rate=5, count=100, seed=0)
+    names = [r.adapter.name for r in requests]
+    assert len(set(names)) == 5  # all adapters used, with repeats
+
+
+def test_lora_unique_assignment_cycles():
+    adapters = synthesize_adapters(10, 160 * 10**6)
+    requests = lora_requests(adapters, rate=5, count=20, seed=0, unique_assignment=True)
+    names = [r.adapter.name for r in requests]
+    assert names[:10] == [a.name for a in adapters]
+    assert names[10:] == [a.name for a in adapters]
+
+
+def test_lora_empty_pool_rejected():
+    with pytest.raises(ValueError):
+        lora_requests([], rate=1, count=1)
+
+
+def test_lora_fixed_response_tokens():
+    adapters = synthesize_adapters(2, 10**6)
+    requests = lora_requests(adapters, rate=1, count=5, response_tokens=64)
+    assert all(r.max_new_tokens == 64 for r in requests)
+
+
+def test_producer_requests_unit_jobs():
+    requests = producer_requests(rate=2.0, count=50, seed=0)
+    assert len(requests) == 50
+    assert all(r.max_new_tokens == 1 for r in requests)
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@given(
+    rate=st.floats(min_value=0.1, max_value=50),
+    count=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_sharegpt_requests_always_valid(rate, count, seed):
+    """Property: every generated request is well-formed and ordered."""
+    requests = sharegpt_requests(rate=rate, count=count, seed=seed)
+    assert len(requests) == count
+    times = [r.arrival_time for r in requests]
+    assert times == sorted(times)
+    for r in requests:
+        assert r.prompt_tokens >= 1
+        assert r.max_new_tokens >= 1
+
+
+@given(
+    n_adapters=st.integers(min_value=1, max_value=50),
+    count=st.integers(min_value=1, max_value=100),
+    unique=st.booleans(),
+)
+@settings(max_examples=50, deadline=None)
+def test_lora_requests_always_draw_from_pool(n_adapters, count, unique):
+    """Property: every request's adapter comes from the given pool."""
+    adapters = synthesize_adapters(n_adapters, 10**6)
+    pool = {a.name for a in adapters}
+    requests = lora_requests(
+        adapters, rate=5.0, count=count, seed=1, unique_assignment=unique
+    )
+    assert all(r.adapter.name in pool for r in requests)
