@@ -1,0 +1,77 @@
+"""Fault-tolerant serving: AQUA degrades gracefully and recovers.
+
+A FlexGen long-prompt consumer offloads its context to an idle
+Llama-2-13B producer over NVLink (the Figure 7 rig), while a
+deterministic fault schedule breaks things under it: a DMA stall at
+t=20 (AQUA-LIB retries with capped exponential backoff), a severe
+NVLink degradation at t=40 (the coordinator fails the consumer over to
+the PCIe/DRAM path), and a producer GPU failure at t=90 (the in-flight
+context is lost; the engine re-queues the request and recomputes).
+No request is ever dropped, and once the faults clear goodput returns
+to the fault-free control run's level.
+
+Run:  python examples/fault_tolerant_serving.py
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.resilience import default_fault_schedule, resilience_experiment
+
+END = 160.0
+
+
+def spark(value: float, lo: float, hi: float, width: int = 30) -> str:
+    """A crude text bar for terminal timelines."""
+    if hi <= lo:
+        return ""
+    filled = int(round((value - lo) / (hi - lo) * width))
+    return "#" * max(0, min(width, filled))
+
+
+def phase_at(t: float, schedule) -> str:
+    """Which faults are active at time ``t`` (empty string if none)."""
+    active = [f.kind for f in schedule if f.at <= t < f.at + f.duration]
+    return "+".join(active) if active else "healthy"
+
+
+def main() -> None:
+    schedule = default_fault_schedule()
+    result = resilience_experiment(schedule=schedule, duration=END)
+    goodput = dict(result["goodput_tokens_per_s"])
+    hi = max(goodput.values())
+    rows = []
+    for t in sorted(goodput):
+        if int(t) % 5 != 0:
+            continue
+        rows.append(
+            [f"{t:.0f}", phase_at(t, schedule), f"{goodput[t]:.1f}",
+             spark(goodput[t], 0, hi)]
+        )
+    print(
+        format_table(
+            ["t_s", "active fault", "goodput_tok/s", ""],
+            rows,
+            title="Goodput under the default fault schedule",
+        )
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["transfer retries (backoff)", str(result["retries"])],
+                ["requests re-queued", str(result["requeues"])],
+                ["tensors lost to GPU failure", str(result["lost_tensors"])],
+                ["requests dropped", str(result["dropped_requests"])],
+                ["recovery time after all-clear (s)",
+                 f"{result['recovery_time_s']:.1f}"],
+                ["post-fault goodput vs control",
+                 f"{result['post_fault_goodput_ratio']:.2f}x"],
+            ],
+            title="Resilience summary",
+        )
+    )
+    print("\nEvery fault is survived: stalls are retried, degraded links "
+          "fail over to DRAM, and a failed GPU costs only a recompute.")
+
+
+if __name__ == "__main__":
+    main()

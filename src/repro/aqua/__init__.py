@@ -29,7 +29,7 @@ from repro.aqua.placer import (
     stable_match,
 )
 from repro.aqua.rest import Response, RestRouter
-from repro.aqua.tensor import AquaTensor, Location
+from repro.aqua.tensor import AquaTensor, Location, TensorLostError
 
 __all__ = [
     "AquaLib",
@@ -46,5 +46,6 @@ __all__ = [
     "PlacementError",
     "Response",
     "RestRouter",
+    "TensorLostError",
     "stable_match",
 ]

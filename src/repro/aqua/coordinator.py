@@ -18,6 +18,11 @@ their names):
 ``POST /free``           Consumer frees a tensor.
 ``POST /moved``          Consumer confirms a tensor migration finished.
 ``GET  /respond``        Consumer fetches the migrations it must perform.
+``POST /gpu_failed``     Health daemon reports a failed GPU (contents lost).
+``POST /gpu_recovered``  Health daemon reports the GPU is back (empty).
+``POST /link_degraded``  Consumer's NVLink path is no faster than PCIe.
+``POST /link_restored``  Consumer's NVLink path is healthy again.
+``GET  /health``         Current failed GPUs and degraded consumers.
 ``GET  /offers``         Debug view of live leases.
 ``GET  /stats``          Snapshot of the whole datastore.
 =======================  ====================================================
@@ -88,6 +93,13 @@ class Coordinator:
         self.reclaims: dict[str, ReclaimRequest] = {}
         #: Migrations owed per consumer: tensor_id -> target location.
         self._migrations: dict[str, dict[int, str]] = {}
+        #: GPUs currently reported failed by the health daemon
+        #: (:class:`~repro.faults.FaultInjector`).  No allocations or
+        #: leases land on these until recovery.
+        self.failed_gpus: set[str] = set()
+        #: Consumers whose NVLink fast path is currently degraded below
+        #: the PCIe fallback; their tensors stay in (or move to) DRAM.
+        self.degraded_consumers: set[str] = set()
         self._install_routes()
 
     # ------------------------------------------------------------------
@@ -133,6 +145,32 @@ class Coordinator:
         @route("GET", "/respond")
         def respond(payload: dict) -> Response:
             return self.respond(payload["consumer"])
+
+        @route("POST", "/gpu_failed")
+        def gpu_failed(payload: dict) -> Response:
+            return self.gpu_failed(payload["gpu"])
+
+        @route("POST", "/gpu_recovered")
+        def gpu_recovered(payload: dict) -> Response:
+            return self.gpu_recovered(payload["gpu"])
+
+        @route("POST", "/link_degraded")
+        def link_degraded(payload: dict) -> Response:
+            return self.link_degraded(payload["consumer"])
+
+        @route("POST", "/link_restored")
+        def link_restored(payload: dict) -> Response:
+            return self.link_restored(payload["consumer"])
+
+        @route("GET", "/health")
+        def health(payload: dict) -> Response:
+            with self._lock:
+                return Response.json(
+                    {
+                        "failed_gpus": sorted(self.failed_gpus),
+                        "degraded_consumers": sorted(self.degraded_consumers),
+                    }
+                )
 
         @route("GET", "/offers")
         def offers(payload: dict) -> Response:
@@ -182,6 +220,8 @@ class Coordinator:
                 return Response.error(
                     f"{producer} has a reclaim in progress", status=409
                 )
+            if producer in self.failed_gpus:
+                return Response.error(f"{producer} is marked failed", status=409)
             lease = self.leases.get(producer)
             if lease is None:
                 lease = Lease(producer=producer, offered=0)
@@ -244,7 +284,11 @@ class Coordinator:
                 )
             location = DRAM
             producer = self.pairings.get(consumer)
-            if producer is not None:
+            if (
+                producer is not None
+                and producer not in self.failed_gpus
+                and consumer not in self.degraded_consumers
+            ):
                 lease = self.leases.get(producer)
                 if lease is not None and lease.accepting and lease.free >= nbytes:
                     lease.used += nbytes
@@ -304,7 +348,11 @@ class Coordinator:
         with self._lock:
             moves = dict(self._migrations.get(consumer, {}))
             producer = self.pairings.get(consumer)
-            if producer is not None:
+            if (
+                producer is not None
+                and producer not in self.failed_gpus
+                and consumer not in self.degraded_consumers
+            ):
                 lease = self.leases.get(producer)
                 if lease is not None and lease.accepting:
                     budget = lease.free
@@ -318,6 +366,81 @@ class Coordinator:
                             moves[alloc.tensor_id] = producer
                             budget -= alloc.nbytes
             return Response.json({"migrations": moves})
+
+    # ------------------------------------------------------------------
+    # Health transitions (reported by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def gpu_failed(self, gpu: str) -> Response:
+        """Quarantine a failed GPU reported by the health daemon.
+
+        Its lease (if any) stops accepting but stays on the books so
+        the producer's donation accounting remains consistent through
+        the outage.  Tensors parked on the GPU are *lost*, not
+        migrated: their consumers discover the loss on the next access
+        (:class:`~repro.aqua.tensor.TensorLostError`), free the tensor
+        and recompute — which is what drains ``lease.used``.
+        """
+        with self._lock:
+            self.failed_gpus.add(gpu)
+            lease = self.leases.get(gpu)
+            if lease is not None:
+                lease.accepting = False
+            return Response.json({"failed_gpus": sorted(self.failed_gpus)})
+
+    def gpu_recovered(self, gpu: str) -> Response:
+        """Un-quarantine a GPU; its lease accepts new tensors again.
+
+        The GPU comes back *empty* — re-population happens organically
+        through :meth:`respond`'s opportunistic upgrades and new
+        allocations.
+        """
+        with self._lock:
+            self.failed_gpus.discard(gpu)
+            lease = self.leases.get(gpu)
+            if lease is not None and gpu not in self.reclaims:
+                lease.accepting = True
+            return Response.json({"failed_gpus": sorted(self.failed_gpus)})
+
+    def link_degraded(self, consumer: str) -> Response:
+        """Fail over ``consumer`` from its NVLink path to PCIe/DRAM.
+
+        Called when the consumer->producer link's effective bandwidth
+        drops to or below the PCIe fallback.  Queues a forced migration
+        to DRAM for every tensor the consumer has parked on its
+        producer (the evacuation travels over the *producer's* PCIe
+        lane, not the degraded NVLink) and stops new fast-path
+        placements until :meth:`link_restored`.
+        """
+        with self._lock:
+            self.degraded_consumers.add(consumer)
+            producer = self.pairings.get(consumer)
+            evacuating = 0
+            if producer is not None and producer not in self.failed_gpus:
+                for alloc in self.allocations.values():
+                    if alloc.consumer == consumer and alloc.location == producer:
+                        self._migrations.setdefault(consumer, {})[
+                            alloc.tensor_id
+                        ] = DRAM
+                        evacuating += 1
+            return Response.json({"evacuating": evacuating})
+
+    def link_restored(self, consumer: str) -> Response:
+        """The consumer's NVLink path is healthy again.
+
+        Drops any degradation-driven DRAM evacuations that have not run
+        yet (unless the producer has a reclaim in flight, whose forced
+        moves must survive); :meth:`respond`'s opportunistic upgrades
+        then move tensors back to the fast path.
+        """
+        with self._lock:
+            self.degraded_consumers.discard(consumer)
+            producer = self.pairings.get(consumer)
+            if producer is not None and producer not in self.reclaims:
+                pending = self._migrations.get(consumer, {})
+                for tensor_id, target in list(pending.items()):
+                    if target == DRAM:
+                        del pending[tensor_id]
+            return Response.json({"ok": True})
 
     def _release_location(self, alloc: Allocation) -> None:
         if alloc.location != DRAM:

@@ -22,11 +22,14 @@ from typing import TYPE_CHECKING, Generator, Hashable, Optional
 
 from repro.aqua.coordinator import DRAM, Coordinator
 from repro.aqua.informers import Action, EngineStats
-from repro.aqua.tensor import AquaTensor, Location
+from repro.aqua.tensor import AquaTensor, Location, TensorLostError
+from repro.faults.retry import RetryPolicy
+from repro.hardware.dma import GpuFailedError, TransferStalled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hardware.gpu import GPU
     from repro.hardware.server import Server
+    from repro.trace import Tracer
 
 #: Pool reservation tag for memory a producer has donated to AQUA.
 AQUA_OFFER_TAG = "aqua-offer"
@@ -50,6 +53,12 @@ class AquaLib:
         Whether scattered tensors are coalesced into one large copy via
         AQUA's gather/scatter kernels (§5).  Disable to reproduce the
         naive-offload ablation.
+    retry_policy:
+        Backoff used when a transfer hits a stalled DMA engine
+        (default: :class:`~repro.faults.RetryPolicy` defaults).
+    tracer:
+        Optional tracer; retries land as ``"aqua-retry"`` instants on
+        this GPU's track, making fault handling visible in the trace.
     """
 
     def __init__(
@@ -59,6 +68,8 @@ class AquaLib:
         coordinator: Coordinator,
         informer=None,
         gather_enabled: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.gpu = gpu
         self.server = server
@@ -66,12 +77,18 @@ class AquaLib:
         self.coordinator = coordinator
         self.informer = informer
         self.gather_enabled = gather_enabled
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.tracer = tracer
         self.name = gpu.name
         self.donated_bytes = 0
         self.reclaim_pending = False
         self.tensors: dict[int, AquaTensor] = {}
         #: Cumulative time this consumer spent blocked in respond().
         self.respond_blocked_time = 0.0
+        #: Transfer retries performed after DMA stalls (fault handling).
+        self.retries = 0
+        #: Tensors whose bytes were lost to a GPU failure.
+        self.lost_tensors = 0
         coordinator.devices[self.name] = gpu
 
     # ==================================================================
@@ -120,7 +137,7 @@ class AquaLib:
         migrations: dict[int, str] = body["migrations"]
         for tensor_id, target in migrations.items():
             tensor = self.tensors.get(tensor_id)
-            if tensor is None or tensor.freed:
+            if tensor is None or tensor.freed or tensor.lost:
                 continue
             yield from self._migrate(tensor, target)
         self.respond_blocked_time += self.env.now - started
@@ -210,13 +227,24 @@ class AquaLib:
             return 0
         return 0
 
-    def complete_offer(self, nbytes: int) -> None:
-        """The engine released ``nbytes`` of HBM; lease them to AQUA."""
+    def complete_offer(self, nbytes: int) -> int:
+        """The engine released ``nbytes`` of HBM; lease them to AQUA.
+
+        Returns the bytes actually leased: ``nbytes`` on success, ``0``
+        when the coordinator refuses the offer (a reclaim in flight, or
+        this GPU quarantined as failed) — the engine should then take
+        the memory back rather than strand it.
+        """
         if nbytes <= 0:
             raise ValueError(f"offer must be positive, got {nbytes}")
+        resp = self.coordinator.request(
+            "POST", "/lease", {"producer": self.name, "nbytes": nbytes}
+        )
+        if not resp.ok:
+            return 0
         self.gpu.hbm.reserve(AQUA_OFFER_TAG, nbytes)
-        self._post("/lease", {"producer": self.name, "nbytes": nbytes})
         self.donated_bytes += nbytes
+        return nbytes
 
     def _finish_reclaim(self) -> int:
         """All consumer tensors evacuated: take the donation back."""
@@ -279,7 +307,50 @@ class AquaLib:
         self._account_placement(tensor, target)
         # Offloaded payloads are stored gathered, so migration moves one
         # contiguous buffer.
-        yield from self.server.transfer(src_device, tensor._device, tensor.nbytes)
+        moved = yield from self._resilient_copy(src_device, tensor._device, tensor.nbytes)
+        if not moved:
+            # The source GPU failed with the bytes on it.  The books
+            # already point at the new location; mark the payload lost
+            # so the owner recomputes on its next access.
+            tensor.lost = True
+            self.lost_tensors += 1
+
+    def _resilient_copy(
+        self, src: Hashable, dst: Hashable, nbytes: float, pieces: int = 1
+    ) -> Generator:
+        """One fault-tolerant transfer; returns whether the bytes moved.
+
+        Stalled DMA engines (:class:`~repro.hardware.dma.TransferStalled`)
+        are retried with the instance's capped-exponential-backoff
+        :class:`~repro.faults.RetryPolicy`, re-raising only once the
+        policy's attempts are exhausted.  A failed endpoint GPU
+        (:class:`~repro.hardware.dma.GpuFailedError`) is not retryable:
+        the copy returns ``False`` and the caller decides what the loss
+        means (usually :class:`~repro.aqua.tensor.TensorLostError`).
+        """
+        delays = self.retry_policy.delays()
+        attempt = 1
+        while True:
+            try:
+                yield from self.server.transfer(src, dst, nbytes, pieces=pieces)
+                return True
+            except GpuFailedError:
+                return False
+            except TransferStalled:
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                self.retries += 1
+                if self.tracer is not None:
+                    self.tracer.add_instant(
+                        "aqua-retry",
+                        self.name,
+                        time=self.env.now,
+                        attempt=attempt,
+                        backoff_s=delay,
+                    )
+                yield self.env.timeout(delay)
+                attempt += 1
 
     def _move_payload(
         self,
@@ -289,7 +360,14 @@ class AquaLib:
         nbytes: Optional[int] = None,
         pieces: Optional[int] = None,
     ) -> Generator:
-        """Data-plane copy used by ``AquaTensor.fetch``/``flush``."""
+        """Data-plane copy used by ``AquaTensor.fetch``/``flush``.
+
+        Raises
+        ------
+        TensorLostError
+            When the offloaded endpoint has failed: the tensor's bytes
+            are unrecoverable and the owner must recompute.
+        """
         payload = tensor.nbytes if nbytes is None else min(nbytes, tensor.nbytes)
         if payload <= 0:
             return
@@ -300,7 +378,13 @@ class AquaLib:
             # through the consumer GPU's HBM (the custom CUDA kernels of §5).
             staging = 2 * payload / self.gpu.spec.effective_hbm_bandwidth
             yield self.env.timeout(staging)
-        yield from self.server.transfer(src, dst, payload, pieces=effective_pieces)
+        moved = yield from self._resilient_copy(
+            src, dst, payload, pieces=effective_pieces
+        )
+        if not moved:
+            tensor.lost = True
+            self.lost_tensors += 1
+            raise TensorLostError(tensor)
 
     def __repr__(self) -> str:
         return (

@@ -28,6 +28,28 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _AQUA_TENSOR_IDS = count()
 
 
+class TensorLostError(RuntimeError):
+    """An AQUA tensor's offloaded bytes are gone.
+
+    Raised when the device backing the tensor failed (a
+    :class:`~repro.faults.GpuFailure`) before or during a data-plane
+    access.  The bytes cannot be recovered; the owning engine must
+    free the tensor and recompute its contents — serving engines
+    re-queue the affected request rather than dropping it.
+
+    Attributes
+    ----------
+    tensor:
+        The lost :class:`AquaTensor`.
+    """
+
+    def __init__(self, tensor: "AquaTensor") -> None:
+        super().__init__(
+            f"tensor {tensor.tag} lost: its backing device failed"
+        )
+        self.tensor = tensor
+
+
 class TensorPointer:
     """A point-in-time reference to an AQUA tensor's physical storage.
 
@@ -89,6 +111,9 @@ class AquaTensor:
         self._device: Optional[Hashable] = None  # producer GPU or HostDRAM
         self.fetch_count = 0
         self.flush_count = 0
+        #: True once the backing device failed with the bytes on it;
+        #: every later data-plane access raises :class:`TensorLostError`.
+        self.lost = False
 
     # ------------------------------------------------------------------
     @property
@@ -133,6 +158,8 @@ class AquaTensor:
         """
         if self.freed:
             raise RuntimeError(f"fetch on freed tensor {self.tag}")
+        if self.lost:
+            raise TensorLostError(self)
         yield from self.lib._move_payload(
             self, src=self._device, dst=self.lib.gpu, nbytes=nbytes, pieces=pieces
         )
@@ -142,6 +169,8 @@ class AquaTensor:
         """Copy (part of) the tensor's bytes from the consumer GPU back out."""
         if self.freed:
             raise RuntimeError(f"flush on freed tensor {self.tag}")
+        if self.lost:
+            raise TensorLostError(self)
         yield from self.lib._move_payload(
             self, src=self.lib.gpu, dst=self._device, nbytes=nbytes, pieces=pieces
         )

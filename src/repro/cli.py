@@ -228,6 +228,45 @@ def cmd_fig18(args) -> None:
     print(f"2-GPU reference:     {result['two_gpu_reference_tokens']}")
 
 
+def cmd_resilience(args) -> None:
+    from repro.experiments.resilience import resilience_experiment
+    from repro.faults import FaultSchedule
+
+    schedule = FaultSchedule.from_file(args.faults) if args.faults else None
+    result = resilience_experiment(schedule=schedule, duration=args.duration)
+    print("Resilience: goodput under faults (FlexGen consumer, LLM producer)")
+    for entry in result["fault_log"]:
+        print(f"  t={entry['t']:7.2f}  {entry['event']}  {entry['target']}")
+    rec = result["recovery_time_s"]
+    print(
+        report.format_table(
+            ["metric", "value"],
+            [
+                ["pre-fault goodput (tok/s)", f"{result['pre_fault_goodput']:.2f}"],
+                ["post-fault goodput (tok/s)", f"{result['post_fault_goodput']:.2f}"],
+                [
+                    "post-fault vs fault-free control",
+                    f"{result['post_fault_goodput_ratio']:.2f}x"
+                    if result["post_fault_goodput_ratio"] is not None
+                    else "n/a",
+                ],
+                [
+                    "recovery time after all-clear (s)",
+                    f"{rec:.1f}" if rec is not None else "not recovered",
+                ],
+                ["transfer retries", result["retries"]],
+                ["requests re-queued", result["requeues"]],
+                ["tensors lost", result["lost_tensors"]],
+                ["requests dropped", result["dropped_requests"]],
+                ["tokens generated", result["tokens_total"]],
+            ],
+        )
+    )
+    if args.trace:
+        result["tracer"].export_json(args.trace)
+        print(f"trace written to {args.trace}")
+
+
 def cmd_tables(args) -> None:
     for title, rows in (
         ("Table 1: LLM jobs with memory deficit", figures.table1_deficit_jobs()),
@@ -287,6 +326,7 @@ COMMANDS: dict[str, Callable] = {
     "fig13": cmd_fig13,
     "fig14": cmd_fig14,
     "fig18": cmd_fig18,
+    "resilience": cmd_resilience,
     "tables": cmd_tables,
     "e2e": cmd_e2e,
     "all": cmd_all,
@@ -337,6 +377,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig18", help="NVSwitch stress")
     p.add_argument("--duration", type=float, default=60.0)
+
+    p = sub.add_parser("resilience", help="goodput under injected faults")
+    p.add_argument(
+        "--faults",
+        metavar="schedule.json",
+        help="fault schedule JSON (default: the documented built-in scenario)",
+    )
+    p.add_argument("--duration", type=float, default=160.0)
+    p.add_argument("--trace", metavar="trace.json", help="write a Chrome trace")
 
     sub.add_parser("tables", help="workload inventory (Tables 1-3)")
     sub.add_parser("e2e", help="cluster placement (balanced vs LLM-heavy)")

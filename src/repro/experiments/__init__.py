@@ -9,11 +9,14 @@ functions and prints the rows; ``EXPERIMENTS.md`` records the outcomes.
 
 from repro.experiments.harness import ConsumerRig, build_consumer_rig, drain
 from repro.experiments.report import format_table, summarize_requests
+from repro.experiments.resilience import default_fault_schedule, resilience_experiment
 
 __all__ = [
     "ConsumerRig",
     "build_consumer_rig",
+    "default_fault_schedule",
     "drain",
     "format_table",
+    "resilience_experiment",
     "summarize_requests",
 ]

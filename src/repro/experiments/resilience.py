@@ -1,0 +1,205 @@
+"""Resilience experiment: goodput under faults and recovery time.
+
+A FlexGen long-prompt consumer offloads its context to an idle LLM
+producer over NVLink (the Figure 7/10 rig), then a deterministic
+:class:`~repro.faults.FaultSchedule` breaks things under it:
+
+1. a DMA stall on the fetch link — AQUA-LIB retries with capped
+   exponential backoff until the engine unfreezes;
+2. a severe NVLink degradation — the coordinator fails the consumer
+   over to the PCIe/DRAM path (goodput drops to the baseline level,
+   but requests keep flowing);
+3. a producer GPU failure — the in-flight context is lost, the engine
+   re-queues (never drops) the request and recomputes on DRAM until
+   the GPU returns, after which opportunistic upgrades restore the
+   fast path.
+
+Because a FlexGen consumer's goodput naturally declines as its context
+grows (every token re-reads the whole KV cache), "recovered" is judged
+against a *fault-free control run* of the identical rig, not against
+the raw pre-fault level: recovery is the first time after all faults
+clear where goodput is back within ``recovery_threshold`` of the
+control's goodput over the same window.  Everything is deterministic:
+same schedule, same numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.harness import build_consumer_rig
+from repro.faults import DmaStall, FaultInjector, FaultSchedule, GpuFailure, LinkDegradation
+from repro.models import LLAMA2_13B, OPT_30B
+from repro.trace import Tracer
+from repro.workloads.arrivals import submit_all
+from repro.workloads.longprompt import long_prompt_requests
+
+
+def default_fault_schedule() -> FaultSchedule:
+    """The documented deterministic scenario (see ``docs/resilience.md``).
+
+    A 4 s DMA stall on the producer->consumer NVLink at t=20, a 25 s
+    degradation of every NVLink to 2% of peak at t=40 (2% of NVLink is
+    slower than PCIe, so the coordinator fails over to DRAM), and a
+    20 s producer GPU failure at t=90.  All faults have cleared by
+    t=110.
+    """
+    return FaultSchedule(
+        [
+            DmaStall(at=20.0, channel="nvlink:gpu1->gpu0", duration=4.0),
+            LinkDegradation(at=40.0, channel="nvlink", factor=0.02, duration=25.0),
+            GpuFailure(at=90.0, gpu="gpu1", duration=20.0),
+        ]
+    )
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _window_mean(series: list[tuple[float, float]], start: float, end: float) -> float:
+    """Mean of the (t, value) samples falling in ``[start, end)``."""
+    return _mean([v for t, v in series if start <= t < end])
+
+
+def _run_rig(
+    schedule: FaultSchedule,
+    duration: float,
+    workload_start: float,
+    sample_dt: float,
+) -> dict:
+    """One rig run under ``schedule``; returns raw series and counters."""
+    tracer = Tracer()
+    rig = build_consumer_rig(
+        "flexgen", OPT_30B, producer_model=LLAMA2_13B, use_aqua=True
+    )
+    env = rig.env
+    consumer = rig.consumer_engine
+    consumer.tracer = tracer
+    rig.consumer_lib.tracer = tracer
+
+    injector = FaultInjector(rig.server, coordinator=rig.coordinator, tracer=tracer)
+    injector.install(schedule)
+    rig.start()
+
+    goodput: list[tuple[float, float]] = []
+
+    def sampler(env):
+        last = 0
+        while True:
+            tokens = consumer.metrics.tokens_generated
+            goodput.append((env.now, (tokens - last) / sample_dt))
+            last = tokens
+            yield env.timeout(sample_dt)
+
+    env.process(sampler(env))
+
+    requests = long_prompt_requests(start=workload_start)
+    submit_all(env, consumer, requests)
+    env.run(until=duration)
+
+    dropped = [
+        r
+        for r in requests
+        if not r.done and r not in consumer.waiting and r not in consumer.running
+    ]
+    return {
+        "goodput": goodput,
+        "retries": rig.consumer_lib.retries,
+        "requeues": consumer.metrics.requeues,
+        "lost_tensors": rig.consumer_lib.lost_tensors,
+        "dropped": len(dropped),
+        "tokens_total": consumer.metrics.tokens_generated,
+        "fault_log": injector.log,
+        "tracer": tracer,
+    }
+
+
+def resilience_experiment(
+    schedule: Optional[FaultSchedule] = None,
+    duration: float = 160.0,
+    workload_start: float = 2.0,
+    sample_dt: float = 1.0,
+    pre_window: float = 8.0,
+    recovery_window: float = 8.0,
+    recovery_threshold: float = 0.95,
+) -> dict:
+    """Run the fault schedule against the FlexGen/NVLink rig.
+
+    Two identical rigs run the same workload — one under ``schedule``
+    (default: :func:`default_fault_schedule`), one fault-free as the
+    control — and their goodput series are compared.
+
+    Parameters
+    ----------
+    schedule:
+        Faults to inject into the faulted run.
+    duration:
+        Total simulated seconds (per run).
+    workload_start:
+        When the long-prompt request arrives (after the producer has
+        donated its spare memory).
+    sample_dt:
+        Goodput sampling interval.
+    pre_window:
+        Seconds immediately before the first fault (and at the end of
+        the run) used for the pre/post goodput levels.
+    recovery_window, recovery_threshold:
+        Recovery is declared at the first time after the last fault
+        clears where the faulted run's mean goodput over
+        ``recovery_window`` seconds reaches ``recovery_threshold`` of
+        the control's over the same window.
+
+    Returns a dict with the goodput series of both runs (tokens/s),
+    the fault log, ``pre_fault_goodput`` / ``post_fault_goodput`` /
+    ``post_fault_goodput_ratio`` (vs. control) / ``recovery_time_s``
+    (seconds after all faults cleared), and the ``retries`` /
+    ``requeues`` / ``lost_tensors`` / ``dropped_requests`` counters.
+    """
+    schedule = schedule if schedule is not None else default_fault_schedule()
+    faulted = _run_rig(schedule, duration, workload_start, sample_dt)
+    control = _run_rig(FaultSchedule(), duration, workload_start, sample_dt)
+
+    goodput = faulted["goodput"]
+    baseline = control["goodput"]
+    first_fault = min((f.at for f in schedule), default=duration)
+    all_clear = schedule.horizon  # 0.0 for an empty schedule
+    pre = _window_mean(goodput, first_fault - pre_window, first_fault)
+    post = _window_mean(goodput, duration - pre_window, duration)
+    post_control = _window_mean(baseline, duration - pre_window, duration)
+
+    recovery_time = None
+    t = all_clear
+    while t + recovery_window <= duration:
+        reference = _window_mean(baseline, t, t + recovery_window)
+        if reference > 0 and (
+            _window_mean(goodput, t, t + recovery_window)
+            >= recovery_threshold * reference
+        ):
+            recovery_time = t - all_clear
+            break
+        t += sample_dt
+
+    retry_instants = [
+        ev for ev in faulted["tracer"].instants if ev.name == "aqua-retry"
+    ]
+
+    return {
+        "goodput_tokens_per_s": goodput,
+        "control_goodput_tokens_per_s": baseline,
+        "pre_fault_goodput": pre,
+        "post_fault_goodput": post,
+        "post_fault_goodput_ratio": post / post_control if post_control else None,
+        "recovery_time_s": recovery_time,
+        "first_fault_at": first_fault,
+        "all_faults_cleared_at": all_clear,
+        "retries": faulted["retries"],
+        "retries_in_trace": len(retry_instants),
+        "requeues": faulted["requeues"],
+        "lost_tensors": faulted["lost_tensors"],
+        "dropped_requests": faulted["dropped"],
+        "tokens_total": faulted["tokens_total"],
+        "control_tokens_total": control["tokens_total"],
+        "fault_log": faulted["fault_log"],
+        "tracer": faulted["tracer"],
+    }

@@ -1,0 +1,44 @@
+"""Fault injection and graceful degradation for the AQUA control plane.
+
+The paper evaluates AQUA on the happy path; a production deployment
+(this repo's north star) must also ride out the unhappy ones.  This
+package makes failure scenarios first-class experiment inputs, in the
+spirit of HW/SW co-simulators like LLMServingSim (see PAPERS.md):
+
+* :class:`FaultSchedule` — a deterministic, JSON-round-trippable list
+  of fault events (what breaks, when, for how long).
+* :class:`LinkDegradation` / :class:`DmaStall` / :class:`GpuFailure` —
+  the three fault types, mapping to per-channel bandwidth clamps,
+  frozen DMA copy engines, and lost-HBM GPU failures.
+* :class:`FaultInjector` — event-loop processes that apply and clear
+  faults at their scheduled times and notify the AQUA coordinator of
+  health transitions (the fabric-manager health-daemon role).
+* :class:`RetryPolicy` — the capped exponential backoff AQUA-LIB uses
+  to ride out transient stalls.
+
+The handling side lives with the components being hardened: transfer
+health checks in :mod:`repro.hardware.dma`, retry/re-placement in
+:mod:`repro.aqua`, request re-queue in :mod:`repro.serving`, and the
+resilience experiment in :mod:`repro.experiments.resilience`.  See
+``docs/resilience.md`` for the full model.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import (
+    DmaStall,
+    Fault,
+    FaultSchedule,
+    GpuFailure,
+    LinkDegradation,
+)
+
+__all__ = [
+    "DmaStall",
+    "Fault",
+    "FaultInjector",
+    "FaultSchedule",
+    "GpuFailure",
+    "LinkDegradation",
+    "RetryPolicy",
+]

@@ -1,0 +1,62 @@
+"""Capped exponential backoff policy for fault-tolerant transfers.
+
+AQUA-LIB retries transient DMA failures (stalled copy engines) before
+giving up: each attempt waits ``initial_delay * multiplier**k`` seconds,
+capped at ``max_delay``, for at most ``max_attempts`` attempts.  The
+defaults ride out multi-second stalls (the sum of the default delays is
+well over 20 simulated seconds) without hammering a stalled engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for retrying stalled transfers.
+
+    Attributes
+    ----------
+    initial_delay:
+        Seconds to wait before the first retry.
+    multiplier:
+        Growth factor applied to the delay after every failed attempt.
+    max_delay:
+        Ceiling on the per-attempt delay (the "capped" part).
+    max_attempts:
+        Total attempts (the first try included) before the error is
+        re-raised to the caller.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(initial_delay=0.1, multiplier=2.0, max_delay=0.5)
+    >>> [round(d, 2) for d in list(policy.delays())[:5]]
+    [0.1, 0.2, 0.4, 0.5, 0.5]
+    """
+
+    initial_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    max_attempts: int = 24
+
+    def __post_init__(self) -> None:
+        if self.initial_delay <= 0:
+            raise ValueError(f"initial_delay must be positive, got {self.initial_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < self.initial_delay:
+            raise ValueError("max_delay must be >= initial_delay")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def delays(self):
+        """Yield the backoff delay before each retry, in order.
+
+        Yields ``max_attempts - 1`` values (no delay follows the final
+        attempt).
+        """
+        delay = self.initial_delay
+        for _ in range(self.max_attempts - 1):
+            yield delay
+            delay = min(delay * self.multiplier, self.max_delay)

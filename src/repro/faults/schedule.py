@@ -1,0 +1,189 @@
+"""Deterministic fault schedules: what breaks, when, and for how long.
+
+A :class:`FaultSchedule` is an ordered list of fault events, each with
+an injection time ``at`` and a ``duration`` after which the fault
+clears.  Schedules round-trip through JSON so experiments are
+reproducible from a ``--faults schedule.json`` file::
+
+    [
+      {"kind": "dma-stall",        "at": 20.0, "duration": 4.0,
+       "channel": "nvlink:gpu1->gpu0"},
+      {"kind": "link-degradation", "at": 40.0, "duration": 25.0,
+       "channel": "nvlink", "factor": 0.02},
+      {"kind": "gpu-failure",      "at": 90.0, "duration": 20.0,
+       "gpu": "gpu1"}
+    ]
+
+Channel and GPU names are matched by substring / suffix against the
+server's real device names (``server0:nvlink:gpu1->gpu0``,
+``server0/gpu1``), so schedules stay topology-file-free.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Union
+
+#: JSON ``kind`` discriminators.
+KIND_LINK_DEGRADATION = "link-degradation"
+KIND_DMA_STALL = "dma-stall"
+KIND_GPU_FAILURE = "gpu-failure"
+
+
+def _check_window(at: float, duration: float) -> None:
+    if at < 0:
+        raise ValueError(f"fault time must be >= 0, got {at}")
+    if duration <= 0:
+        raise ValueError(f"fault duration must be positive, got {duration}")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """An interconnect link runs at a fraction of its peak bandwidth.
+
+    Matches every channel whose name contains ``channel`` as a
+    substring; each match is clamped to ``factor`` of its spec
+    bandwidth from ``at`` until ``at + duration``.  Transfers already
+    on the wire finish at their old speed; new transfers pay the
+    degraded bandwidth (see :class:`~repro.hardware.interconnect.Channel`).
+    """
+
+    at: float
+    channel: str
+    factor: float
+    duration: float
+    kind: str = KIND_LINK_DEGRADATION
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {self.factor}")
+
+
+@dataclass(frozen=True)
+class DmaStall:
+    """A channel's DMA copy engine freezes: new transfers are rejected.
+
+    From ``at`` until ``at + duration`` every transfer whose route
+    includes a matching channel raises
+    :class:`~repro.hardware.dma.TransferStalled` at start; AQUA-LIB
+    retries these with capped exponential backoff until the stall
+    clears.
+    """
+
+    at: float
+    channel: str
+    duration: float
+    kind: str = KIND_DMA_STALL
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+
+
+@dataclass(frozen=True)
+class GpuFailure:
+    """A GPU drops off the fabric; its HBM contents are lost.
+
+    From ``at`` until ``at + duration`` transfers touching the GPU
+    raise :class:`~repro.hardware.dma.GpuFailedError`; the coordinator
+    stops placing tensors there and consumers mark tensors parked on
+    it as lost.  Recovery brings the GPU back *empty* — lost data must
+    be recomputed by its owners.
+    """
+
+    at: float
+    gpu: str
+    duration: float
+    kind: str = KIND_GPU_FAILURE
+
+    def __post_init__(self) -> None:
+        _check_window(self.at, self.duration)
+
+
+Fault = Union[LinkDegradation, DmaStall, GpuFailure]
+
+_KINDS = {
+    KIND_LINK_DEGRADATION: LinkDegradation,
+    KIND_DMA_STALL: DmaStall,
+    KIND_GPU_FAILURE: GpuFailure,
+}
+
+
+class FaultSchedule:
+    """An immutable, time-ordered list of fault events.
+
+    Examples
+    --------
+    >>> schedule = FaultSchedule([
+    ...     GpuFailure(at=90.0, gpu="gpu1", duration=20.0),
+    ...     DmaStall(at=20.0, channel="nvlink", duration=4.0),
+    ... ])
+    >>> [f.kind for f in schedule]
+    ['dma-stall', 'gpu-failure']
+    >>> FaultSchedule.from_json(schedule.to_json()) == schedule
+    True
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self.faults: tuple[Fault, ...] = tuple(
+            sorted(faults, key=lambda f: (f.at, f.kind))
+        )
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self.faults == other.faults
+
+    def __repr__(self) -> str:
+        return f"<FaultSchedule {len(self.faults)} faults>"
+
+    @property
+    def horizon(self) -> float:
+        """Time at which the last fault has cleared (0.0 when empty)."""
+        return max((f.at + f.duration for f in self.faults), default=0.0)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        """Plain-dict form (the JSON schema above)."""
+        return [asdict(f) for f in self.faults]
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to the ``--faults`` file format."""
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    @classmethod
+    def from_dicts(cls, entries: Iterable[dict]) -> "FaultSchedule":
+        """Build a schedule from plain dicts, dispatching on ``kind``."""
+        faults = []
+        for entry in entries:
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            if kind not in _KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; expected one of {sorted(_KINDS)}"
+                )
+            faults.append(_KINDS[kind](**entry))
+        return cls(faults)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        """Parse the JSON produced by :meth:`to_json`."""
+        entries = json.loads(text)
+        if not isinstance(entries, list):
+            raise ValueError("a fault schedule JSON file must contain a list")
+        return cls.from_dicts(entries)
+
+    @classmethod
+    def from_file(cls, path) -> "FaultSchedule":
+        """Load a schedule from a ``--faults schedule.json`` file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

@@ -10,7 +10,13 @@ its peak for multi-megabyte transfers.
 """
 
 from repro.hardware.cluster import Cluster
-from repro.hardware.dma import Transfer, TransferStats
+from repro.hardware.dma import (
+    GpuFailedError,
+    Transfer,
+    TransferError,
+    TransferStalled,
+    TransferStats,
+)
 from repro.hardware.gpu import GPU, HostDRAM, MemoryPool, OutOfDeviceMemory
 from repro.hardware.interconnect import Channel, Interconnect, Route
 from repro.hardware.server import Server
@@ -34,6 +40,7 @@ __all__ = [
     "Cluster",
     "GPU",
     "GPUSpec",
+    "GpuFailedError",
     "H100_80G",
     "HostDRAM",
     "Interconnect",
@@ -48,6 +55,8 @@ __all__ = [
     "Route",
     "Server",
     "Transfer",
+    "TransferError",
+    "TransferStalled",
     "TransferStats",
     "effective_bandwidth",
     "transfer_time",

@@ -23,6 +23,33 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     pass
 
 
+class TransferError(RuntimeError):
+    """A DMA copy could not run because of a hardware fault.
+
+    Base class of the fault-injection error family; callers that want
+    blanket handling (retry, re-placement) catch this, while the
+    subclasses distinguish transient from fatal conditions.
+    """
+
+
+class TransferStalled(TransferError):
+    """A channel on the route has a stalled copy engine.
+
+    Transient: raised at transfer start while a
+    :class:`~repro.faults.DmaStall` fault is active.  The right
+    response is to retry with backoff — AQUA-LIB does exactly that.
+    """
+
+
+class GpuFailedError(TransferError):
+    """An endpoint GPU of the transfer has failed.
+
+    Fatal for the data on that GPU: copies *from* it mean the payload
+    is lost (the owner must recompute), copies *to* it are pointless
+    until :meth:`~repro.hardware.gpu.GPU.recover`.
+    """
+
+
 @dataclass
 class TransferStats:
     """Aggregate statistics of completed transfers (for reports)."""
@@ -99,14 +126,39 @@ class Transfer:
         piece = self.nbytes / self.pieces
         return self.pieces * route.transfer_time(piece)
 
+    def _check_health(self, route: Route) -> None:
+        """Raise if a fault blocks this copy.
+
+        Health is checked once, at transfer start: copies already on
+        the wire when a fault lands run to completion (a degraded
+        link only slows *new* transfers; a stall or GPU failure only
+        rejects *new* transfers).  This matches how DMA engines drain
+        in flight descriptors and keeps the simulation deterministic.
+        """
+        for gpu in self._endpoints():
+            if gpu.failed:
+                raise GpuFailedError(f"endpoint {gpu.name} has failed")
+        stalled = [ch.name for ch in route.channels if ch.stalled]
+        if stalled:
+            raise TransferStalled(f"stalled channel(s): {', '.join(stalled)}")
+
     def run(self) -> Generator:
-        """Execute the copy; use as ``yield from transfer.run()``."""
+        """Execute the copy; use as ``yield from transfer.run()``.
+
+        Raises
+        ------
+        GpuFailedError
+            If either endpoint GPU is marked failed at start.
+        TransferStalled
+            If any channel on the route is stalled at start.
+        """
         self.started_at = self.env.now
         if self.nbytes == 0:
             self.finished_at = self.env.now
             return self
 
         route = self.interconnect.route(self.src, self.dst)
+        self._check_health(route)
         # Deadlock-free acquisition: all requests issued together, granted
         # in each channel's FIFO order, and we proceed once all are held.
         ordered = sorted(route.channels, key=lambda ch: ch.name)

@@ -102,6 +102,25 @@ class GPU:
         self.compute = Resource(env, capacity=1)
         self.active_copies = 0
         self.busy_time = 0.0
+        #: Health flag set by fault injection (:mod:`repro.faults`).
+        #: While ``True``, new DMA transfers touching this GPU raise
+        #: :class:`~repro.hardware.dma.GpuFailedError` and the memory
+        #: it held is considered lost by anyone who offloaded to it.
+        self.failed = False
+
+    def fail(self) -> None:
+        """Mark the GPU failed: its HBM contents are gone.
+
+        The accounting pools are left untouched — owners of the data
+        (AQUA tensors, engines) discover the loss when their next
+        transfer raises and release their reservations themselves,
+        mirroring how a real driver reports ECC/Xid errors lazily.
+        """
+        self.failed = True
+
+    def recover(self) -> None:
+        """Bring the GPU back (empty — lost data does not return)."""
+        self.failed = False
 
     @property
     def name(self) -> str:

@@ -48,6 +48,15 @@ class Channel:
         Simulation resource serializing transfers on this channel.
     bytes_moved:
         Lifetime counter of payload bytes carried (for reports).
+    degradation:
+        Bandwidth multiplier in ``(0, 1]``; ``1.0`` means healthy.  Set
+        by fault injection (:mod:`repro.faults`) and read live by
+        :meth:`Route.transfer_time`, so transfers started while a link
+        is degraded pay the reduced bandwidth.
+    stalled:
+        While ``True`` the channel's copy engine accepts no new work:
+        transfers whose route includes this channel raise
+        :class:`~repro.hardware.dma.TransferStalled` at start.
     """
 
     name: str
@@ -55,10 +64,44 @@ class Channel:
     engine: Resource
     bytes_moved: float = 0.0
     transfer_count: int = 0
+    degradation: float = 1.0
+    stalled: bool = False
 
     def record(self, nbytes: float) -> None:
         self.bytes_moved += nbytes
         self.transfer_count += 1
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Peak bandwidth scaled by the current degradation factor."""
+        return self.spec.peak_bandwidth * self.degradation
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the channel runs at full bandwidth and is not stalled."""
+        return self.degradation >= 1.0 and not self.stalled
+
+    def degrade(self, factor: float) -> None:
+        """Clamp the channel to ``factor`` of its peak bandwidth.
+
+        ``factor`` must be in ``(0, 1]``; degradations do not stack —
+        the most recent call wins, and :meth:`restore` clears it.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degradation factor must be in (0, 1], got {factor}")
+        self.degradation = factor
+
+    def restore(self) -> None:
+        """Return the channel to full bandwidth."""
+        self.degradation = 1.0
+
+    def stall(self) -> None:
+        """Freeze the channel's copy engine (a DMA stall fault)."""
+        self.stalled = True
+
+    def unstall(self) -> None:
+        """Release a DMA stall; queued retries can proceed again."""
+        self.stalled = False
 
     def __repr__(self) -> str:
         return f"<Channel {self.name} ({self.spec.name})>"
@@ -77,8 +120,19 @@ class Route:
 
     @property
     def bottleneck_bandwidth(self) -> float:
-        """Peak bandwidth of the slowest hop."""
-        return min(ch.spec.peak_bandwidth for ch in self.channels)
+        """Effective bandwidth of the slowest hop.
+
+        Honours per-channel :attr:`Channel.degradation`, so a degraded
+        NVLink route reports (and delivers) less bandwidth than its
+        spec — the signal the AQUA coordinator uses to fail over to
+        the PCIe path.
+        """
+        return min(ch.effective_bandwidth for ch in self.channels)
+
+    @property
+    def healthy(self) -> bool:
+        """Whether every hop is undegraded and unstalled."""
+        return all(ch.healthy for ch in self.channels)
 
     def transfer_time(self, nbytes: float) -> float:
         """Uncontended seconds to move ``nbytes`` along this route."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.aqua.tensor import TensorLostError
 from repro.serving.engine import LLMEngineBase
 from repro.serving.lora_manager import LoRACache
 from repro.serving.request import Request
@@ -101,6 +102,18 @@ class CFSEngine(LLMEngineBase):
     # ------------------------------------------------------------------
     # Context switching
     # ------------------------------------------------------------------
+    def _abandon_context(self, request: Request) -> None:
+        """A fault cost this request its KV: release and re-queue it.
+
+        The request keeps its token progress; re-admission through
+        :meth:`_admit_new` prefills the whole context again (the
+        recompute cost of recovery).  Requests are never dropped.
+        """
+        self.kv.release(request.req_id)
+        if request in self.swapped:
+            self.swapped.remove(request)
+        self.requeue(request)
+
     def _swap_out(self, request: Request) -> Generator:
         nbytes = self.kv.swap_out(request.req_id)
         pieces = 2 * self.model.n_layers * self.kv.blocks_for(request.total_tokens)
@@ -108,7 +121,12 @@ class CFSEngine(LLMEngineBase):
             tensor = self.aqua_lib.to_responsive_tensor(
                 nbytes, pieces=pieces, tag=f"cfs-ctx-{request.req_id}"
             )
-            yield from tensor.flush()
+            try:
+                yield from tensor.flush()
+            except TensorLostError:
+                tensor.free()
+                self._abandon_context(request)
+                return
             self._swap_tensors[request.req_id] = tensor
         else:
             self.server.dram.pool.reserve(f"{self.name}:ctx{request.req_id}", nbytes)
@@ -121,7 +139,12 @@ class CFSEngine(LLMEngineBase):
         nbytes = self.kv.swap_in(request.req_id)
         if self.use_aqua:
             tensor = self._swap_tensors.pop(request.req_id)
-            yield from tensor.fetch()
+            try:
+                yield from tensor.fetch()
+            except TensorLostError:
+                tensor.free()
+                self._abandon_context(request)
+                return
             tensor.free()
         else:
             yield from self.server.transfer(self.server.dram, self.gpu, nbytes)

@@ -145,6 +145,26 @@ class LLMEngineBase:
         if request.done:
             self.metrics.record_completion(request)
 
+    def requeue(self, request: Request) -> None:
+        """Return an in-flight request to the head of the waiting queue.
+
+        Graceful degradation: when a fault costs a request its inference
+        context (e.g. :class:`~repro.aqua.TensorLostError` after a
+        producer GPU failure), the engine re-queues the request instead
+        of dropping it.  The request keeps its generated-token progress;
+        the engine recomputes the lost context when the request next
+        runs, which is the recovery cost the resilience experiment
+        measures.
+        """
+        if request in self.running:
+            self.running.remove(request)
+        self.waiting.appendleft(request)
+        self.metrics.record_requeue(self.env.now)
+        if self.tracer is not None:
+            self.tracer.add_instant(
+                "requeue", self.name, time=self.env.now, request=request.req_id
+            )
+
     @property
     def kv_used_bytes(self) -> int:
         return self.allocator.used_blocks * self.allocator.block_bytes
@@ -191,7 +211,13 @@ class LLMEngineBase:
                 yield from self.gpu.compute_op(compaction)
             removed = self.allocator.shrink_any(blocks)
             if removed > 0:
-                self.aqua_lib.complete_offer(removed * self.allocator.block_bytes)
+                accepted = self.aqua_lib.complete_offer(
+                    removed * self.allocator.block_bytes
+                )
+                if accepted == 0:
+                    # Coordinator refused (reclaim in flight or this GPU
+                    # quarantined): take the blocks back, don't strand them.
+                    self.allocator.grow(removed)
         elif delta > 0:
             self.allocator.grow(delta // self.allocator.block_bytes)
 

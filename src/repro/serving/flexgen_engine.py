@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Generator
 
+from repro.aqua.tensor import TensorLostError
 from repro.serving.engine import LLMEngineBase
 from repro.serving.request import Request
 from repro.sim import AllOf
@@ -78,11 +79,15 @@ class FlexGenEngine(LLMEngineBase):
             tag=f"flexgen-ctx-{request.req_id}",
         )
         try:
-            # Prefill: compute the prompt, stream its KV out to the tensor.
-            prefill = self.model.prefill_time(self.gpu.spec, request.prompt_tokens)
+            # Prefill: compute the context, stream its KV out to the tensor.
+            # On a first run the context is just the prompt; a re-queued
+            # request (fault recovery) recomputes everything generated so
+            # far — progress is kept, the lost KV is re-derived.
+            context_tokens = min(request.total_tokens, max_total - 1)
+            prefill = self.model.prefill_time(self.gpu.spec, context_tokens)
             yield from self.gpu.compute_op(prefill)
             yield from tensor.flush(
-                nbytes=self.model.kv_bytes(request.prompt_tokens),
+                nbytes=self.model.kv_bytes(context_tokens),
                 pieces=self._stream_pieces(),
             )
             self._finish_token(request)
@@ -108,6 +113,13 @@ class FlexGenEngine(LLMEngineBase):
                 continue
             request = self.waiting.popleft()
             self.running = [request]
-            yield from self._infer(request)
+            try:
+                yield from self._infer(request)
+            except TensorLostError:
+                # The device holding this request's context failed: the
+                # KV is gone, the request is not.  Re-queue it; the next
+                # run recomputes the context at whatever location the
+                # coordinator now assigns (DRAM while the GPU is down).
+                self.requeue(request)
             self.running = []
             self.iteration += 1

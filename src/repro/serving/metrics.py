@@ -70,6 +70,9 @@ class MetricsCollector:
         self.tokens_generated = 0
         self.token_times: list[float] = []
         self.series: dict[str, TimeSeries] = {}
+        #: Times at which in-flight requests were re-queued after a
+        #: fault (recovery metric; see ``LLMEngineBase.requeue``).
+        self.requeue_times: list[float] = []
 
     # ------------------------------------------------------------------
     def record_token(self, now: float, n: int = 1) -> None:
@@ -78,6 +81,15 @@ class MetricsCollector:
 
     def record_completion(self, request: Request) -> None:
         self.completed.append(request)
+
+    def record_requeue(self, now: float) -> None:
+        """Count one fault-driven re-queue of an in-flight request."""
+        self.requeue_times.append(now)
+
+    @property
+    def requeues(self) -> int:
+        """Total fault-driven re-queues recorded so far."""
+        return len(self.requeue_times)
 
     def sample(self, series: str, time: float, value: float) -> None:
         self.series.setdefault(series, TimeSeries(series)).append(time, value)
@@ -133,4 +145,6 @@ class MetricsCollector:
             out["rct_mean"] = self.mean_rct()
             out["rct_p50"] = self.rct_percentile(50)
             out["rct_p95"] = self.rct_percentile(95)
+        if self.requeue_times:
+            out["requeues"] = self.requeues
         return out

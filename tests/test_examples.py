@@ -74,3 +74,12 @@ def test_trace_inspection(capsys, tmp_path, monkeypatch):
     out = run_example("trace_inspection.py", capsys)
     assert "Chrome trace written" in out
     assert (tmp_path / "aqua_trace.json").exists()
+
+
+@pytest.mark.slow
+def test_fault_tolerant_serving(capsys):
+    out = run_example("fault_tolerant_serving.py", capsys)
+    assert "dma-stall" in out
+    assert "gpu-failure" in out
+    assert "requests dropped" in out
+    assert "Every fault is survived" in out

@@ -1,0 +1,315 @@
+"""Tests for the fault-injection subsystem (`repro.faults`).
+
+Covers the schedule format, the backoff policy, the hardware health
+primitives, the DMA error family, the injector's apply/clear/cancel
+lifecycle, and the coordinator's health bookkeeping.
+"""
+
+import json
+
+import pytest
+
+from repro.aqua import AquaLib, BatchInformer, Coordinator
+from repro.experiments.harness import build_consumer_rig
+from repro.faults import (
+    DmaStall,
+    FaultInjector,
+    FaultSchedule,
+    GpuFailure,
+    LinkDegradation,
+    RetryPolicy,
+)
+from repro.hardware import GpuFailedError, Server, TransferError, TransferStalled
+from repro.models import LLAMA2_13B, MISTRAL_7B, OPT_30B
+from repro.serving import Request, VLLMEngine
+from repro.sim import Environment
+
+
+# ---------------------------------------------------------------------------
+# FaultSchedule
+# ---------------------------------------------------------------------------
+def default_faults():
+    return [
+        DmaStall(at=20.0, channel="nvlink:gpu1->gpu0", duration=4.0),
+        LinkDegradation(at=40.0, channel="nvlink", factor=0.02, duration=25.0),
+        GpuFailure(at=90.0, gpu="gpu1", duration=20.0),
+    ]
+
+
+def test_schedule_sorts_and_reports_horizon():
+    schedule = FaultSchedule(reversed(default_faults()))
+    assert [f.kind for f in schedule] == [
+        "dma-stall", "link-degradation", "gpu-failure"
+    ]
+    assert len(schedule) == 3
+    assert schedule.horizon == 110.0
+    assert FaultSchedule().horizon == 0.0
+
+
+def test_schedule_json_roundtrip(tmp_path):
+    schedule = FaultSchedule(default_faults())
+    assert FaultSchedule.from_json(schedule.to_json()) == schedule
+    path = tmp_path / "schedule.json"
+    path.write_text(schedule.to_json())
+    assert FaultSchedule.from_file(path) == schedule
+    # The on-disk format is the documented list-of-dicts shape.
+    entries = json.loads(schedule.to_json())
+    assert [e["kind"] for e in entries] == [
+        "dma-stall", "link-degradation", "gpu-failure"
+    ]
+
+
+def test_schedule_rejects_bad_json():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSchedule.from_dicts([{"kind": "meteor-strike", "at": 1.0}])
+    with pytest.raises(ValueError, match="must contain a list"):
+        FaultSchedule.from_json('{"kind": "dma-stall"}')
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError, match="time must be >= 0"):
+        DmaStall(at=-1.0, channel="nvlink", duration=1.0)
+    with pytest.raises(ValueError, match="duration must be positive"):
+        GpuFailure(at=0.0, gpu="gpu1", duration=0.0)
+    with pytest.raises(ValueError, match=r"factor must be in \(0, 1\]"):
+        LinkDegradation(at=0.0, channel="nvlink", factor=0.0, duration=1.0)
+    with pytest.raises(ValueError, match=r"factor must be in \(0, 1\]"):
+        LinkDegradation(at=0.0, channel="nvlink", factor=1.5, duration=1.0)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+def test_retry_policy_caps_and_counts():
+    policy = RetryPolicy(initial_delay=0.05, multiplier=2.0, max_delay=1.0,
+                         max_attempts=8)
+    delays = list(policy.delays())
+    assert len(delays) == 7  # no delay after the final attempt
+    assert delays[:5] == [0.05, 0.1, 0.2, 0.4, 0.8]
+    assert delays[5:] == [1.0, 1.0]  # capped
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(initial_delay=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(initial_delay=2.0, max_delay=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+# ---------------------------------------------------------------------------
+# Hardware health primitives
+# ---------------------------------------------------------------------------
+def test_channel_degrade_restore():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    channel = server.interconnect.channels["server0:nvlink:gpu0->gpu1"]
+    assert channel.healthy
+    channel.degrade(0.25)
+    assert not channel.healthy
+    assert channel.effective_bandwidth == pytest.approx(
+        0.25 * channel.spec.peak_bandwidth
+    )
+    # The route's bottleneck reads the degraded value live.
+    route = server.interconnect.route(server.gpus[0], server.gpus[1])
+    assert route.bottleneck_bandwidth == pytest.approx(channel.effective_bandwidth)
+    assert not route.healthy
+    channel.restore()
+    assert channel.healthy and route.healthy
+    with pytest.raises(ValueError):
+        channel.degrade(0.0)
+    with pytest.raises(ValueError):
+        channel.degrade(1.5)
+
+
+def test_gpu_fail_recover():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    gpu = server.gpus[1]
+    assert not gpu.failed
+    gpu.fail()
+    assert gpu.failed
+    gpu.recover()
+    assert not gpu.failed
+
+
+def _run_transfer(env, server, src, dst):
+    """Run one transfer to completion, returning the raised fault (or None)."""
+    box = {}
+
+    def proc(env):
+        try:
+            yield from server.transfer(src, dst, 2**20)
+        except TransferError as exc:
+            box["error"] = exc
+
+    env.process(proc(env))
+    env.run()
+    return box.get("error")
+
+
+def test_stalled_channel_rejects_transfers():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    channel = server.interconnect.channels["server0:nvlink:gpu0->gpu1"]
+    channel.stall()
+    error = _run_transfer(env, server, server.gpus[0], server.gpus[1])
+    assert isinstance(error, TransferStalled)
+    assert channel.name in str(error)
+    channel.unstall()
+    assert _run_transfer(env, server, server.gpus[0], server.gpus[1]) is None
+
+
+def test_failed_gpu_rejects_transfers():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    server.gpus[1].fail()
+    error = _run_transfer(env, server, server.gpus[0], server.gpus[1])
+    assert isinstance(error, GpuFailedError)
+    # The PCIe path of the healthy GPU is unaffected.
+    assert _run_transfer(env, server, server.gpus[0], server.dram) is None
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector lifecycle
+# ---------------------------------------------------------------------------
+def test_injector_applies_and_clears_on_schedule():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    injector = FaultInjector(server)
+    injector.install(
+        FaultSchedule([
+            LinkDegradation(at=1.0, channel="nvlink", factor=0.5, duration=2.0),
+            GpuFailure(at=2.0, gpu="gpu1", duration=3.0),
+        ])
+    )
+    nvlinks = [
+        ch for name, ch in server.interconnect.channels.items() if "nvlink" in name
+    ]
+    env.run(until=1.5)
+    assert all(ch.degradation == 0.5 for ch in nvlinks)
+    env.run(until=2.5)
+    assert server.gpus[1].failed
+    env.run(until=3.5)  # degradation cleared at t=3
+    assert all(ch.healthy for ch in nvlinks)
+    assert server.gpus[1].failed
+    env.run(until=6.0)  # GPU back at t=5
+    assert not server.gpus[1].failed
+    events = [entry["event"] for entry in injector.log]
+    assert events == [
+        "link-degradation:apply", "gpu-failure:apply",
+        "link-degradation:clear", "gpu-failure:clear",
+    ]
+
+
+def test_injector_cancel_clears_active_faults():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    injector = FaultInjector(server)
+    injector.install(
+        FaultSchedule([DmaStall(at=1.0, channel="nvlink", duration=100.0)])
+    )
+    env.run(until=2.0)
+    assert any(ch.stalled for ch in server.interconnect.channels.values())
+    injector.cancel()
+    env.run(until=3.0)  # interrupts are delivered asynchronously
+    assert all(not ch.stalled for ch in server.interconnect.channels.values())
+
+
+def test_injector_rejects_unknown_targets_at_install():
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    injector = FaultInjector(server)
+    with pytest.raises(ValueError, match="no channel matches"):
+        injector.install(
+            FaultSchedule([DmaStall(at=0.0, channel="infiniband", duration=1.0)])
+        )
+    with pytest.raises(ValueError, match="no GPU matches"):
+        injector.install(
+            FaultSchedule([GpuFailure(at=0.0, gpu="gpu9", duration=1.0)])
+        )
+
+
+# ---------------------------------------------------------------------------
+# Coordinator health bookkeeping
+# ---------------------------------------------------------------------------
+def test_coordinator_quarantines_failed_gpu():
+    coord = Coordinator()
+    ok = coord.request("POST", "/lease", {"producer": "p0", "nbytes": 100})
+    assert ok.ok
+    coord.request("POST", "/gpu_failed", {"gpu": "p0"})
+    refused = coord.request("POST", "/lease", {"producer": "p0", "nbytes": 100})
+    assert refused.status == 409
+    health = coord.request("GET", "/health").body
+    assert health["failed_gpus"] == ["p0"]
+    # The existing lease survives the failure but accepts nothing new.
+    assert not coord.leases["p0"].accepting
+    coord.request("POST", "/gpu_recovered", {"gpu": "p0"})
+    assert coord.request("GET", "/health").body["failed_gpus"] == []
+    assert coord.request("POST", "/lease", {"producer": "p0", "nbytes": 100}).ok
+
+
+def test_complete_offer_returns_zero_when_quarantined():
+    env = Environment()
+    server = Server(env, n_gpus=2)
+    coord = Coordinator()
+    producer = AquaLib(server.gpus[1], server, coord, informer=BatchInformer())
+    coord.request("POST", "/gpu_failed", {"gpu": producer.name})
+    held_before = server.gpus[1].hbm.used
+    assert producer.complete_offer(2**30) == 0
+    assert server.gpus[1].hbm.used == held_before  # nothing stranded
+    coord.request("POST", "/gpu_recovered", {"gpu": producer.name})
+    assert producer.complete_offer(2**30) == 2**30
+
+
+def test_injector_reports_link_health_to_coordinator():
+    rig = build_consumer_rig(
+        "flexgen", OPT_30B, producer_model=LLAMA2_13B, use_aqua=True
+    )
+    injector = FaultInjector(rig.server, coordinator=rig.coordinator)
+    injector.install(
+        FaultSchedule([
+            LinkDegradation(at=1.0, channel="nvlink", factor=0.02, duration=2.0)
+        ])
+    )
+    consumer = rig.consumer_lib.name
+    rig.env.run(until=1.5)
+    assert consumer in rig.coordinator.degraded_consumers
+    rig.env.run(until=4.0)
+    assert consumer not in rig.coordinator.degraded_consumers
+
+
+def test_mild_degradation_keeps_fast_path():
+    """NVLink at 50% is still far faster than PCIe: no failover."""
+    rig = build_consumer_rig(
+        "flexgen", OPT_30B, producer_model=LLAMA2_13B, use_aqua=True
+    )
+    injector = FaultInjector(rig.server, coordinator=rig.coordinator)
+    injector.install(
+        FaultSchedule([
+            LinkDegradation(at=1.0, channel="nvlink", factor=0.5, duration=2.0)
+        ])
+    )
+    rig.env.run(until=1.5)
+    assert not rig.coordinator.degraded_consumers
+
+
+# ---------------------------------------------------------------------------
+# Engine-side recovery
+# ---------------------------------------------------------------------------
+def test_requeue_prepends_and_counts():
+    env = Environment()
+    server = Server(env, n_gpus=1)
+    engine = VLLMEngine(server.gpus[0], server, MISTRAL_7B)
+    queued = Request(arrival_time=0.0, prompt_tokens=10, max_new_tokens=5)
+    hit = Request(arrival_time=0.0, prompt_tokens=10, max_new_tokens=5)
+    engine.waiting.append(queued)
+    engine.running.append(hit)
+    engine.requeue(hit)
+    assert hit not in engine.running
+    assert list(engine.waiting) == [hit, queued]  # head of the queue
+    assert engine.metrics.requeues == 1
+    assert "requeues" in engine.metrics.summary()

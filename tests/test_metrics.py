@@ -34,6 +34,36 @@ def test_percentile_validation():
         percentile([1], -1)
 
 
+def test_percentile_extremes_on_unsorted_input():
+    """q=0/100 are exactly min/max, whatever the input order."""
+    values = [9, 1, 7, 3]
+    assert percentile(values, 0) == 1
+    assert percentile(values, 100) == 9
+    assert values == [9, 1, 7, 3]  # input is not mutated
+
+
+def test_percentile_two_element_interpolation():
+    assert percentile([0, 10], 0) == 0
+    assert percentile([0, 10], 75) == 7.5
+    assert percentile([0, 10], 100) == 10
+    assert percentile([10, 0], 50) == 5  # order-insensitive
+
+
+def test_percentile_fractional_q():
+    assert percentile([0, 10], 12.5) == pytest.approx(1.25)
+    assert percentile([1, 2, 3, 4, 5], 62.5) == pytest.approx(3.5)
+
+
+def test_percentile_exact_rank_needs_no_interpolation():
+    # q=25 on 5 elements lands exactly on index 1.
+    assert percentile([5, 4, 3, 2, 1], 25) == 2
+
+
+def test_percentile_duplicate_values():
+    assert percentile([2, 2, 2, 2], 50) == 2
+    assert percentile([1, 2, 2, 3], 50) == 2
+
+
 @given(
     values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
     q=st.floats(min_value=0, max_value=100),

@@ -81,6 +81,46 @@ def test_chrome_export_roundtrip(tmp_path):
     assert x["args"] == {"batch": 3}
 
 
+def test_chrome_export_full_roundtrip(tmp_path):
+    """Every span and instant survives the trip through the JSON file,
+    with times in microseconds, args intact, and one thread-name
+    metadata record per track mapping tids back to track names."""
+    tracer = Tracer()
+    tracer.add_span("prefill", "engine", 0.0, 0.5, tokens=100)
+    tracer.add_span("decode", "engine", 0.5, 0.75)
+    tracer.add_instant("dma-stall:apply", "faults", time=20.0,
+                       targets=["nvlink:gpu1->gpu0"])
+    tracer.add_instant("aqua-retry", "faults", time=20.05, attempt=1)
+    path = tmp_path / "trace.json"
+    tracer.export_json(str(path))
+    events = json.loads(path.read_text())["traceEvents"]
+
+    tid_to_track = {
+        e["tid"]: e["args"]["name"] for e in events if e["ph"] == "M"
+    }
+    assert sorted(tid_to_track.values()) == ["engine", "faults"]
+
+    spans = [e for e in events if e["ph"] == "X"]
+    assert [(s["name"], s["ts"], s["dur"]) for s in spans] == [
+        ("prefill", 0.0, 0.5e6), ("decode", 0.5e6, 0.25e6)
+    ]
+    assert all(tid_to_track[s["tid"]] == "engine" for s in spans)
+
+    instants = [e for e in events if e["ph"] == "i"]
+    assert [(i["name"], i["ts"]) for i in instants] == [
+        ("dma-stall:apply", 20.0e6), ("aqua-retry", 20.05e6)
+    ]
+    assert instants[0]["args"] == {"targets": ["nvlink:gpu1->gpu0"]}
+    assert all(i["s"] == "t" for i in instants)  # thread-scoped instants
+    assert all(tid_to_track[i["tid"]] == "faults" for i in instants)
+
+
+def test_chrome_export_empty_tracer(tmp_path):
+    path = tmp_path / "empty.json"
+    Tracer().export_json(str(path))
+    assert json.loads(path.read_text()) == {"traceEvents": []}
+
+
 # ---------------------------------------------------------------------------
 # Engine integration
 # ---------------------------------------------------------------------------
