@@ -17,6 +17,7 @@ their names):
 ``POST /allocate``       Consumer asks where a new tensor should live.
 ``POST /free``           Consumer frees a tensor.
 ``POST /moved``          Consumer confirms a tensor migration finished.
+``POST /move_failed``    Consumer rolls back a migration whose copy never ran.
 ``GET  /respond``        Consumer fetches the migrations it must perform.
 ``POST /gpu_failed``     Health daemon reports a failed GPU (contents lost).
 ``POST /gpu_recovered``  Health daemon reports the GPU is back (empty).
@@ -78,15 +79,28 @@ class ReclaimRequest:
 
 
 class Coordinator:
-    """Central bookkeeping for AQUA leases, pairings and tensors."""
+    """Central bookkeeping for AQUA leases, pairings and tensors.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    strict_json:
+        Run the REST router in wire-faithful mode: every payload and
+        body is round-tripped through JSON (see
+        :class:`~repro.aqua.rest.RestRouter`).  Dict keys arrive as
+        strings, exactly as over a socket.
+    """
+
+    def __init__(self, strict_json: bool = False) -> None:
         self._lock = threading.RLock()
-        self.router = RestRouter()
+        self.router = RestRouter(strict_json=strict_json)
         #: Data-plane registry: GPU name -> device object.  Populated by
         #: AquaLib instances when they register; stands in for the
         #: cluster addressing a real deployment gets from NCCL ranks.
         self.devices: dict = {}
+        #: Control-plane registry: GPU name -> AquaLib instance.  Also
+        #: populated at AquaLib construction; the conservation audit
+        #: (:mod:`repro.audit`) discovers the per-GPU books through it.
+        self.libs: dict = {}
         self.leases: dict[str, Lease] = {}
         self.pairings: dict[str, str] = {}  # consumer -> producer
         self.allocations: dict[int, Allocation] = {}
@@ -141,6 +155,10 @@ class Coordinator:
         @route("POST", "/moved")
         def moved(payload: dict) -> Response:
             return self.moved(int(payload["tensor_id"]), payload["location"])
+
+        @route("POST", "/move_failed")
+        def move_failed(payload: dict) -> Response:
+            return self.move_failed(int(payload["tensor_id"]), payload["location"])
 
         @route("GET", "/respond")
         def respond(payload: dict) -> Response:
@@ -339,11 +357,55 @@ class Coordinator:
                 reclaim.pending_tensors.discard(tensor_id)
             return Response.json({"location": location})
 
+    def move_failed(self, tensor_id: int, location: str) -> Response:
+        """Consumer reports a migration whose data-plane copy never ran.
+
+        ``location`` is where the bytes physically still are (the
+        migration's *source*).  The earlier ``/moved`` optimistically
+        pointed the books at the target; this rolls them back so the
+        ledger matches reality, then re-queues the migration so a later
+        ``/respond`` retries it.  Re-charging a non-accepting lease is
+        deliberate: the bytes are parked there whether or not the lease
+        accepts *new* tenants, and a reclaim in flight must keep waiting
+        for them.
+        """
+        with self._lock:
+            alloc = self.allocations.get(tensor_id)
+            if alloc is None:
+                return Response.error(f"unknown tensor {tensor_id}", status=404)
+            if alloc.location == location:
+                return Response.json({"location": location})
+            target = alloc.location
+            self._release_location(alloc)
+            if location != DRAM:
+                lease = self.leases.get(location)
+                if lease is None:
+                    return Response.error(
+                        f"no lease on {location} to roll tensor {tensor_id} "
+                        "back onto",
+                        status=409,
+                    )
+                lease.used += alloc.nbytes
+                reclaim = self.reclaims.get(location)
+                if reclaim is not None:
+                    reclaim.pending_tensors.add(tensor_id)
+            alloc.location = location
+            # The move is still owed; retry it at a later boundary.
+            self._migrations.setdefault(alloc.consumer, {})[tensor_id] = target
+            return Response.json({"location": location, "requeued": target})
+
     def respond(self, consumer: str) -> Response:
         """Migrations this consumer must perform at its next boundary.
 
         Forced moves (reclaims) come first; then opportunistic upgrades
         of DRAM tensors into the paired producer's free lease.
+
+        The migration map is keyed by *string* tensor ids — JSON objects
+        cannot have int keys, and this payload must survive a real HTTP
+        round trip (:class:`~repro.aqua.rest.RestRouter` ``strict_json``
+        mode enforces exactly that).  Clients convert back with
+        ``int()`` (see :meth:`AquaLib.get_tensors_to_move
+        <repro.aqua.lib.AquaLib.get_tensors_to_move>`).
         """
         with self._lock:
             moves = dict(self._migrations.get(consumer, {}))
@@ -365,7 +427,9 @@ class Coordinator:
                         ):
                             moves[alloc.tensor_id] = producer
                             budget -= alloc.nbytes
-            return Response.json({"migrations": moves})
+            return Response.json(
+                {"migrations": {str(tid): target for tid, target in moves.items()}}
+            )
 
     # ------------------------------------------------------------------
     # Health transitions (reported by repro.faults.FaultInjector)
@@ -460,3 +524,39 @@ class Coordinator:
     def tensors_of(self, consumer: str) -> list[Allocation]:
         with self._lock:
             return [a for a in self.allocations.values() if a.consumer == consumer]
+
+    def audit_snapshot(self) -> dict:
+        """One consistent view of the books, taken under the lock.
+
+        The conservation audit (:mod:`repro.audit`) checks invariants
+        against this snapshot rather than reading the live dicts field
+        by field, so a check can never see a lease and its allocations
+        from two different moments.
+        """
+        with self._lock:
+            return {
+                "leases": {
+                    name: Lease(
+                        producer=l.producer,
+                        offered=l.offered,
+                        used=l.used,
+                        accepting=l.accepting,
+                    )
+                    for name, l in self.leases.items()
+                },
+                "allocations": {
+                    tid: Allocation(
+                        tensor_id=a.tensor_id,
+                        consumer=a.consumer,
+                        location=a.location,
+                        nbytes=a.nbytes,
+                    )
+                    for tid, a in self.allocations.items()
+                },
+                "pairings": dict(self.pairings),
+                "failed_gpus": set(self.failed_gpus),
+                "degraded_consumers": set(self.degraded_consumers),
+                "reclaims": {
+                    name: set(r.pending_tensors) for name, r in self.reclaims.items()
+                },
+            }

@@ -90,6 +90,7 @@ class AquaLib:
         #: Tensors whose bytes were lost to a GPU failure.
         self.lost_tensors = 0
         coordinator.devices[self.name] = gpu
+        coordinator.libs[self.name] = self
 
     # ==================================================================
     # Southbound helpers
@@ -133,9 +134,7 @@ class AquaLib:
         both happen here; the engine blocks for the duration.
         """
         started = self.env.now
-        body = self._get("/respond", {"consumer": self.name})
-        migrations: dict[int, str] = body["migrations"]
-        for tensor_id, target in migrations.items():
+        for tensor_id, target in self.get_tensors_to_move().items():
             tensor = self.tensors.get(tensor_id)
             if tensor is None or tensor.freed or tensor.lost:
                 continue
@@ -171,9 +170,12 @@ class AquaLib:
         """Pending migrations at this iteration boundary (§B.1).
 
         Maps tensor id to target location; forced reclaims first, then
-        opportunistic upgrades onto the paired producer.
+        opportunistic upgrades onto the paired producer.  The wire
+        payload carries *string* tensor-id keys (JSON objects cannot key
+        on ints); this client converts them back to ints.
         """
-        return dict(self._get("/respond", {"consumer": self.name})["migrations"])
+        migrations = self._get("/respond", {"consumer": self.name})["migrations"]
+        return {int(tensor_id): target for tensor_id, target in migrations.items()}
 
     def done_moving_tensors(self, moves: dict[int, str]) -> None:
         """Confirm completed migrations to the coordinator (§B.1).
@@ -305,9 +307,25 @@ class AquaLib:
         src_device = tensor._device
         self._release_placement(tensor)
         self._account_placement(tensor, target)
-        # Offloaded payloads are stored gathered, so migration moves one
-        # contiguous buffer.
-        moved = yield from self._resilient_copy(src_device, tensor._device, tensor.nbytes)
+        try:
+            # Offloaded payloads are stored gathered, so migration moves
+            # one contiguous buffer.
+            moved = yield from self._resilient_copy(
+                src_device, tensor._device, tensor.nbytes
+            )
+        except TransferStalled:
+            # Retries exhausted with the route still stalled: the bytes
+            # never left the source.  Roll the optimistic accounting back
+            # so every ledger points at where the payload actually is,
+            # and un-post the move — the coordinator re-queues it for a
+            # later boundary.  The engine keeps running; no exception
+            # escapes an iteration boundary for a transient fault.
+            self._release_placement(tensor)
+            self._account_placement(tensor, current)
+            self._post(
+                "/move_failed", {"tensor_id": tensor.id, "location": current}
+            )
+            return
         if not moved:
             # The source GPU failed with the bytes on it.  The books
             # already point at the new location; mark the payload lost

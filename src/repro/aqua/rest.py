@@ -6,10 +6,20 @@ reproduction the HTTP stack is replaced by an in-process router with
 the same request/response shape (method + path + JSON-like payload),
 so endpoint semantics, status codes and payload schemas are preserved
 and testable without sockets.
+
+Because no bytes actually travel, it is easy for handlers to leak
+payloads that would *not* survive a real HTTP hop — int dict keys, set
+values, device objects.  :class:`RestRouter` therefore has a
+``strict_json`` mode that round-trips every request payload and every
+response body through :func:`json.dumps`/:func:`json.loads`, exactly as
+a socket would.  The test suite runs the coordinator in this mode so
+schema regressions (e.g. ``{int: str}`` migration maps) fail loudly
+instead of silently working in-process only.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -37,10 +47,20 @@ class Response:
 
 
 class RestRouter:
-    """Dispatches ``(method, path)`` requests to registered handlers."""
+    """Dispatches ``(method, path)`` requests to registered handlers.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    strict_json:
+        When ``True``, request payloads and response bodies are
+        round-tripped through ``json.dumps``/``json.loads`` so only
+        wire-safe payloads pass — int keys become strings, tuples become
+        lists, and non-serializable values turn the request into a 400.
+    """
+
+    def __init__(self, strict_json: bool = False) -> None:
         self._handlers: dict[tuple[str, str], Handler] = {}
+        self.strict_json = strict_json
 
     def route(self, method: str, path: str) -> Callable[[Handler], Handler]:
         """Decorator registering ``handler`` for ``method path``."""
@@ -63,10 +83,27 @@ class RestRouter:
         handler = self._handlers.get((method.upper(), path))
         if handler is None:
             return Response.error(f"no route {method.upper()} {path}", status=404)
+        payload = payload or {}
+        if self.strict_json:
+            try:
+                payload = json.loads(json.dumps(payload))
+            except (TypeError, ValueError) as exc:
+                return Response.error(f"payload is not JSON-safe: {exc}", status=400)
         try:
-            return handler(payload or {})
+            response = handler(payload)
         except Exception as exc:  # noqa: BLE001 - mapped to a 500 like a server
             return Response.error(f"{type(exc).__name__}: {exc}", status=500)
+        if self.strict_json:
+            try:
+                response = Response(
+                    status=response.status,
+                    body=json.loads(json.dumps(response.body)),
+                )
+            except (TypeError, ValueError) as exc:
+                return Response.error(
+                    f"response body is not JSON-safe: {exc}", status=500
+                )
+        return response
 
     @property
     def routes(self) -> list[tuple[str, str]]:

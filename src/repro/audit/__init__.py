@@ -1,0 +1,41 @@
+"""Conservation audit: opt-in invariant monitoring for AQUA simulations.
+
+AQUA's speedup argument rests on byte accounting — who holds which HBM
+lease, which channel carried how many bytes, where each offloaded
+tensor's payload actually is.  This package verifies those books while
+a simulation runs, instead of trusting them:
+
+>>> from repro.audit import ConservationAuditor
+>>> from repro.sim import Environment
+>>> from repro.hardware import Server
+>>> env = Environment()
+>>> server = Server(env, n_gpus=2)
+>>> auditor = ConservationAuditor(env).attach_server(server)
+>>> _ = auditor.watch(interval=1.0)   # checkpoint every simulated second
+>>> # ... run the simulation ...
+>>> auditor.check().__len__()         # final checkpoint; 0 violations
+0
+>>> auditor.report().ok
+True
+
+Enable it on any experiment rig with ``build_consumer_rig(...,
+audit=True)``, on the resilience experiment with
+``resilience_experiment(audit=True)``, or from the shell with
+``aqua-repro audit`` / ``aqua-repro resilience --audit``.
+"""
+
+from repro.audit.monitor import (
+    LAWS,
+    AuditError,
+    AuditReport,
+    AuditViolation,
+    ConservationAuditor,
+)
+
+__all__ = [
+    "LAWS",
+    "AuditError",
+    "AuditReport",
+    "AuditViolation",
+    "ConservationAuditor",
+]

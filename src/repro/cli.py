@@ -228,12 +228,14 @@ def cmd_fig18(args) -> None:
     print(f"2-GPU reference:     {result['two_gpu_reference_tokens']}")
 
 
-def cmd_resilience(args) -> None:
+def cmd_resilience(args) -> int:
     from repro.experiments.resilience import resilience_experiment
     from repro.faults import FaultSchedule
 
     schedule = FaultSchedule.from_file(args.faults) if args.faults else None
-    result = resilience_experiment(schedule=schedule, duration=args.duration)
+    result = resilience_experiment(
+        schedule=schedule, duration=args.duration, audit=args.audit
+    )
     print("Resilience: goodput under faults (FlexGen consumer, LLM producer)")
     for entry in result["fault_log"]:
         print(f"  t={entry['t']:7.2f}  {entry['event']}  {entry['target']}")
@@ -265,6 +267,53 @@ def cmd_resilience(args) -> None:
     if args.trace:
         result["tracer"].export_json(args.trace)
         print(f"trace written to {args.trace}")
+    if args.audit:
+        return _print_audit_reports(result["audit"])
+    return 0
+
+
+def _print_audit_reports(reports: dict) -> int:
+    """Print per-run audit outcomes; non-zero when any invariant broke."""
+    failed = 0
+    for run, report in reports.items():
+        status = "clean" if report["ok"] else f"{len(report['violations'])} violation(s)"
+        print(
+            f"audit[{run}]: {status} "
+            f"({report['checks']} checkpoints, "
+            f"{report['transfers_observed']} transfers, "
+            f"digest {report['digest'][:16]}…)"
+        )
+        for violation in report["violations"]:
+            print(f"  {violation}")
+        failed += 0 if report["ok"] else 1
+    return 1 if failed else 0
+
+
+def cmd_audit(args) -> int:
+    """Conservation-audit smoke run.
+
+    Runs the resilience scenario (faults included) twice under the
+    invariant monitor: every checkpoint must come up clean, and the two
+    identical runs must produce byte-identical event digests (the
+    determinism law).
+    """
+    from repro.experiments.resilience import resilience_experiment
+
+    print(f"audit smoke: 2 identical resilience runs, {args.duration:.0f}s each")
+    first = resilience_experiment(duration=args.duration, audit=True)
+    second = resilience_experiment(duration=args.duration, audit=True)
+    rc = _print_audit_reports(first["audit"])
+
+    digests_first = {run: r["digest"] for run, r in first["audit"].items()}
+    digests_second = {run: r["digest"] for run, r in second["audit"].items()}
+    if digests_first == digests_second:
+        print("determinism: identical runs produced identical digests")
+    else:
+        print("determinism: DIGEST MISMATCH between identical runs")
+        for run in digests_first:
+            print(f"  {run}: {digests_first[run]} vs {digests_second[run]}")
+        rc = 1
+    return rc
 
 
 def cmd_tables(args) -> None:
@@ -327,6 +376,7 @@ COMMANDS: dict[str, Callable] = {
     "fig14": cmd_fig14,
     "fig18": cmd_fig18,
     "resilience": cmd_resilience,
+    "audit": cmd_audit,
     "tables": cmd_tables,
     "e2e": cmd_e2e,
     "all": cmd_all,
@@ -386,6 +436,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--duration", type=float, default=160.0)
     p.add_argument("--trace", metavar="trace.json", help="write a Chrome trace")
+    p.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the conservation audit alongside; non-zero exit on violations",
+    )
+
+    p = sub.add_parser(
+        "audit", help="conservation-audit smoke run (invariants + determinism)"
+    )
+    p.add_argument("--duration", type=float, default=60.0)
 
     sub.add_parser("tables", help="workload inventory (Tables 1-3)")
     sub.add_parser("e2e", help="cluster placement (balanced vs LLM-heavy)")
@@ -407,8 +467,8 @@ def main(argv=None) -> int:
         for name in sorted(COMMANDS):
             print(name)
         return 0
-    COMMANDS[args.command](args)
-    return 0
+    rc = COMMANDS[args.command](args)
+    return int(rc or 0)
 
 
 if __name__ == "__main__":

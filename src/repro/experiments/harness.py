@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.aqua import AquaLib, BatchInformer, Coordinator, LlmInformer
+from repro.audit import ConservationAuditor
 from repro.hardware import Server
 from repro.hardware.specs import GiB
 from repro.models import get_model
@@ -37,6 +38,7 @@ class ConsumerRig:
     producer_engine: Optional[object] = None
     producer_lib: Optional[AquaLib] = None
     lora_cache: Optional[LoRACache] = None
+    auditor: Optional[ConservationAuditor] = None
     extras: dict = field(default_factory=dict)
 
     def start(self) -> "ConsumerRig":
@@ -81,6 +83,8 @@ def build_consumer_rig(
     lora_capacity_bytes: Optional[int] = None,
     consumer_kwargs: Optional[dict] = None,
     name_prefix: str = "",
+    audit: bool = False,
+    audit_interval: float = 1.0,
 ) -> ConsumerRig:
     """Build a consumer/producer pair.
 
@@ -98,6 +102,12 @@ def build_consumer_rig(
         FlexGen).
     lora_capacity_bytes:
         When set, attach a LoRA cache (AQUA-backed iff ``use_aqua``).
+    audit:
+        Attach a :class:`~repro.audit.ConservationAuditor` to the rig's
+        server and coordinator and checkpoint every ``audit_interval``
+        simulated seconds.  The auditor is available as ``rig.auditor``;
+        call ``rig.auditor.check()`` for a final checkpoint and
+        ``rig.auditor.report()`` for the outcome.
     """
     if consumer_kind not in ("vllm", "cfs", "flexgen"):
         raise ValueError(f"unknown consumer kind {consumer_kind!r}")
@@ -171,6 +181,13 @@ def build_consumer_rig(
             gpu, server, consumer_model, aqua_lib=consumer_lib, name=name, **kwargs
         )
 
+    auditor = None
+    if audit:
+        auditor = ConservationAuditor(env)
+        auditor.attach_server(server)
+        auditor.attach_coordinator(coordinator)
+        auditor.watch(interval=audit_interval)
+
     return ConsumerRig(
         env=env,
         server=server,
@@ -180,6 +197,7 @@ def build_consumer_rig(
         producer_engine=producer_engine,
         producer_lib=producer_lib,
         lora_cache=lora_cache,
+        auditor=auditor,
     )
 
 

@@ -67,11 +67,12 @@ def _run_rig(
     duration: float,
     workload_start: float,
     sample_dt: float,
+    audit: bool = False,
 ) -> dict:
     """One rig run under ``schedule``; returns raw series and counters."""
     tracer = Tracer()
     rig = build_consumer_rig(
-        "flexgen", OPT_30B, producer_model=LLAMA2_13B, use_aqua=True
+        "flexgen", OPT_30B, producer_model=LLAMA2_13B, use_aqua=True, audit=audit
     )
     env = rig.env
     consumer = rig.consumer_engine
@@ -98,6 +99,11 @@ def _run_rig(
     submit_all(env, consumer, requests)
     env.run(until=duration)
 
+    audit_report = None
+    if rig.auditor is not None:
+        rig.auditor.check(checkpoint="final")
+        audit_report = rig.auditor.report()
+
     dropped = [
         r
         for r in requests
@@ -112,6 +118,7 @@ def _run_rig(
         "tokens_total": consumer.metrics.tokens_generated,
         "fault_log": injector.log,
         "tracer": tracer,
+        "audit": audit_report,
     }
 
 
@@ -123,6 +130,7 @@ def resilience_experiment(
     pre_window: float = 8.0,
     recovery_window: float = 8.0,
     recovery_threshold: float = 0.95,
+    audit: bool = False,
 ) -> dict:
     """Run the fault schedule against the FlexGen/NVLink rig.
 
@@ -149,6 +157,10 @@ def resilience_experiment(
         clears where the faulted run's mean goodput over
         ``recovery_window`` seconds reaches ``recovery_threshold`` of
         the control's over the same window.
+    audit:
+        Run both rigs under a :class:`~repro.audit.ConservationAuditor`
+        and include the reports (and determinism digests) in the result
+        under ``"audit"``.
 
     Returns a dict with the goodput series of both runs (tokens/s),
     the fault log, ``pre_fault_goodput`` / ``post_fault_goodput`` /
@@ -157,8 +169,8 @@ def resilience_experiment(
     ``requeues`` / ``lost_tensors`` / ``dropped_requests`` counters.
     """
     schedule = schedule if schedule is not None else default_fault_schedule()
-    faulted = _run_rig(schedule, duration, workload_start, sample_dt)
-    control = _run_rig(FaultSchedule(), duration, workload_start, sample_dt)
+    faulted = _run_rig(schedule, duration, workload_start, sample_dt, audit=audit)
+    control = _run_rig(FaultSchedule(), duration, workload_start, sample_dt, audit=audit)
 
     goodput = faulted["goodput"]
     baseline = control["goodput"]
@@ -202,4 +214,12 @@ def resilience_experiment(
         "control_tokens_total": control["tokens_total"],
         "fault_log": faulted["fault_log"],
         "tracer": faulted["tracer"],
+        "audit": (
+            {
+                "faulted": faulted["audit"].to_dict(),
+                "control": control["audit"].to_dict(),
+            }
+            if audit
+            else None
+        ),
     }

@@ -13,14 +13,20 @@ dilates concurrent compute kernels by ``GPUSpec.copy_interference``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, Hashable, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Hashable, Optional, Sequence
 
 from repro.hardware.gpu import GPU
-from repro.hardware.interconnect import Interconnect, Route
+from repro.hardware.interconnect import Channel, Interconnect, Route
 from repro.sim import AllOf, Environment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     pass
+
+#: Observer signature for completed transfers: ``(route_name, channels,
+#: nbytes, duration)``.  Every hop carries the full payload, so a
+#: listener that sums ``nbytes`` once per channel reconstructs the
+#: per-channel ledger exactly (see :mod:`repro.audit`).
+TransferListener = Callable[[str, Sequence[Channel], float, float], None]
 
 
 class TransferError(RuntimeError):
@@ -52,18 +58,35 @@ class GpuFailedError(TransferError):
 
 @dataclass
 class TransferStats:
-    """Aggregate statistics of completed transfers (for reports)."""
+    """Aggregate statistics of completed transfers (for reports).
+
+    ``bytes_total`` counts each payload once, whatever the hop count of
+    its route; the per-channel ``bytes_moved`` ledgers count the payload
+    once *per hop*.  Listeners registered in :attr:`listeners` observe
+    every completed transfer together with the channels it traversed,
+    which is how the conservation audit (:mod:`repro.audit`) keeps an
+    independent shadow ledger to reconcile both views against.
+    """
 
     count: int = 0
     bytes_total: float = 0.0
     busy_time: float = 0.0
     per_route: dict[str, float] = field(default_factory=dict)
+    listeners: list[TransferListener] = field(default_factory=list)
 
-    def record(self, route_name: str, nbytes: float, duration: float) -> None:
+    def record(
+        self,
+        route_name: str,
+        nbytes: float,
+        duration: float,
+        channels: Sequence[Channel] = (),
+    ) -> None:
         self.count += 1
         self.bytes_total += nbytes
         self.busy_time += duration
         self.per_route[route_name] = self.per_route.get(route_name, 0.0) + nbytes
+        for listener in self.listeners:
+            listener(route_name, channels, nbytes, duration)
 
 
 class Transfer:
@@ -173,12 +196,16 @@ class Transfer:
             finally:
                 for gpu in self._endpoints():
                     gpu.active_copies -= 1
+            # Every hop carries the full payload: a 2-hop NVSwitch route
+            # moves the bytes over the egress *and* the ingress port, so
+            # each channel's ledger gets the whole transfer (splitting it
+            # per hop under-counted multi-hop routes).
             for channel in ordered:
-                channel.record(self.nbytes / len(ordered))
+                channel.record(self.nbytes)
             self.finished_at = self.env.now
             if self.stats is not None:
                 route_name = f"{getattr(self.src, 'name', self.src)}->" f"{getattr(self.dst, 'name', self.dst)}"
-                self.stats.record(route_name, self.nbytes, duration)
+                self.stats.record(route_name, self.nbytes, duration, channels=ordered)
         finally:
             for channel, request in zip(ordered, requests):
                 channel.engine.release(request)

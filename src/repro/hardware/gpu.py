@@ -76,6 +76,15 @@ class MemoryPool:
         """Bytes currently held under ``tag``."""
         return self.reservations.get(tag, 0)
 
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of the reservation table.
+
+        Used by the conservation audit (:mod:`repro.audit`) so invariant
+        checks iterate a stable view even if a monitor callback runs
+        concurrently with pool mutation.
+        """
+        return dict(self.reservations)
+
 
 class GPU:
     """One simulated GPU: HBM pool, a compute queue, and copy bookkeeping.

@@ -103,17 +103,29 @@ class MetricsCollector:
     def rcts(self) -> list[float]:
         return [r.rct for r in self.completed if r.rct is not None]
 
+    # Empty-input contract: every latency aggregate on this collector
+    # (means *and* percentiles) returns NaN when no request has
+    # completed, so callers can compute summaries unconditionally and
+    # filter with ``math.isnan``.  The standalone :func:`percentile`
+    # utility keeps its strict ValueError — an empty sequence there is a
+    # programming error, not an "engine saw no traffic yet" state.
     def ttft_percentile(self, q: float) -> float:
-        return percentile(self.ttfts, q)
+        """TTFT percentile; NaN when no request has completed."""
+        values = self.ttfts
+        return percentile(values, q) if values else float("nan")
 
     def rct_percentile(self, q: float) -> float:
-        return percentile(self.rcts, q)
+        """RCT percentile; NaN when no request has completed."""
+        values = self.rcts
+        return percentile(values, q) if values else float("nan")
 
     def mean_ttft(self) -> float:
+        """Mean TTFT; NaN when no request has completed."""
         values = self.ttfts
         return sum(values) / len(values) if values else float("nan")
 
     def mean_rct(self) -> float:
+        """Mean RCT; NaN when no request has completed."""
         values = self.rcts
         return sum(values) / len(values) if values else float("nan")
 

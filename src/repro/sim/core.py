@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from repro.sim.events import Event, Process, SimulationError, Timeout
 
@@ -36,6 +36,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Per-event observers (see :meth:`add_monitor`).  Empty in the
+        #: common case, so :meth:`step` pays one truthiness check.
+        self._monitors: list[Callable[[float], None]] = []
 
     @property
     def now(self) -> float:
@@ -70,6 +73,21 @@ class Environment:
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
+    def add_monitor(self, fn: Callable[[float], None]) -> None:
+        """Register an observer invoked after every processed event.
+
+        Monitors receive the current simulation time.  They must not
+        schedule events or mutate simulation state — they exist for
+        invariant checkers (:mod:`repro.audit`) that want to inspect the
+        world at every quiescent point of the event loop.
+        """
+        self._monitors.append(fn)
+
+    def remove_monitor(self, fn: Callable[[float], None]) -> None:
+        """Unregister a monitor added with :meth:`add_monitor`."""
+        if fn in self._monitors:
+            self._monitors.remove(fn)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
         return self._queue[0][0] if self._queue else float("inf")
@@ -91,6 +109,10 @@ class Environment:
         for callback in callbacks or ():
             callback(event)
         event._state = "processed"
+
+        if self._monitors:
+            for monitor in self._monitors:
+                monitor(self._now)
 
         if not event._ok and not event._defused:
             # A failure nobody waited for: surface it to the caller of run().

@@ -65,6 +65,57 @@ def test_router_method_case_insensitive():
     assert router.request("GET", "/x").ok
 
 
+def test_router_strict_json_round_trips_payload():
+    """strict_json behaves like a real socket: int keys become strings."""
+    router = RestRouter(strict_json=True)
+    seen = {}
+
+    @router.route("POST", "/echo")
+    def echo(payload):
+        seen.update(payload)
+        return Response.json({"keys": list(payload["m"].keys())})
+
+    resp = router.request("POST", "/echo", {"m": {1: "a", 2: "b"}})
+    assert resp.ok
+    assert resp.body["keys"] == ["1", "2"]
+    assert list(seen["m"].keys()) == ["1", "2"]
+
+
+def test_router_strict_json_rejects_unserializable_payload():
+    router = RestRouter(strict_json=True)
+
+    @router.route("POST", "/x")
+    def x(payload):
+        return Response.json()
+
+    resp = router.request("POST", "/x", {"bad": {1, 2, 3}})
+    assert resp.status == 400
+    assert "JSON-safe" in resp.body["error"]
+
+
+def test_router_strict_json_rejects_unserializable_body():
+    router = RestRouter(strict_json=True)
+
+    @router.route("GET", "/y")
+    def y(payload):
+        return Response.json({"bad": object()})
+
+    resp = router.request("GET", "/y")
+    assert resp.status == 500
+    assert "JSON-safe" in resp.body["error"]
+
+
+def test_router_lenient_by_default():
+    router = RestRouter()
+
+    @router.route("POST", "/z")
+    def z(payload):
+        return Response.json({"same": payload["m"]})
+
+    resp = router.request("POST", "/z", {"m": {1: "a"}})
+    assert resp.body["same"] == {1: "a"}
+
+
 # ---------------------------------------------------------------------------
 # Coordinator: leases and allocation
 # ---------------------------------------------------------------------------
@@ -159,7 +210,8 @@ def test_reclaim_queues_migrations_for_consumer():
     resp = coord.request("POST", "/reclaim_request", {"producer": "p0"})
     assert resp.body == {"pending": 2, "done": False}
     moves = coord.request("GET", "/respond", {"consumer": "c0"}).body["migrations"]
-    assert moves == {1: DRAM, 2: DRAM}
+    # Migration maps are keyed by *string* tensor ids (JSON-safe).
+    assert moves == {"1": DRAM, "2": DRAM}
 
 
 def test_reclaim_blocks_new_allocations():
@@ -210,7 +262,7 @@ def test_respond_proposes_dram_upgrades():
     # Lease grows.
     coord.request("POST", "/lease", {"producer": "p0", "nbytes": 1_000})
     moves = coord.request("GET", "/respond", {"consumer": "c0"}).body["migrations"]
-    assert moves == {1: "p0"}
+    assert moves == {"1": "p0"}
 
 
 def test_respond_upgrade_respects_budget():
@@ -263,6 +315,29 @@ def test_offers_endpoint():
     coord = make_paired_coordinator(offer=5_000)
     body = coord.request("GET", "/offers").body
     assert body["leases"]["p0"]["offered"] == 5_000
+
+
+def test_coordinator_strict_json_full_reclaim_cycle():
+    """Regression: the migration map used to be ``{int: str}``, which a
+    real HTTP hop silently rewrites to string keys.  The whole control
+    protocol must survive a strict (socket-faithful) coordinator.
+    """
+    coord = Coordinator(strict_json=True)
+    coord.request("POST", "/pair", {"consumer": "c0", "producer": "p0"})
+    coord.request("POST", "/lease", {"producer": "p0", "nbytes": 10_000})
+    coord.request("POST", "/allocate", {"consumer": "c0", "tensor_id": 1, "nbytes": 400})
+    resp = coord.request("POST", "/reclaim_request", {"producer": "p0"})
+    assert resp.ok and not resp.body["done"]
+    moves = coord.request("GET", "/respond", {"consumer": "c0"}).body["migrations"]
+    assert moves == {"1": DRAM}
+    # The client echoes the string id back; handlers coerce with int().
+    for tensor_id, location in moves.items():
+        resp = coord.request(
+            "POST", "/moved", {"tensor_id": tensor_id, "location": location}
+        )
+        assert resp.ok
+    assert coord.request("GET", "/reclaim_status", {"producer": "p0"}).body["done"]
+    assert coord.allocations[1].location == DRAM
 
 
 def test_coordinator_thread_safety():

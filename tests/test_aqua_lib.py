@@ -5,6 +5,7 @@ import pytest
 from repro.aqua import AquaLib, BatchInformer, Coordinator, EngineStats, LlmInformer
 from repro.aqua.lib import AQUA_OFFER_TAG
 from repro.aqua.tensor import Location
+from repro.faults import RetryPolicy
 from repro.hardware import Server
 from repro.hardware.specs import GiB, MB
 from repro.sim import Environment
@@ -224,6 +225,114 @@ def test_batch_informer_offer_flow():
     assert delta == -(48 * GiB)
     producer.complete_offer(-delta)
     assert coord.leases[producer.name].offered == 48 * GiB
+
+
+# ---------------------------------------------------------------------------
+# Migration rollback: stalled evacuation must not corrupt the books
+# ---------------------------------------------------------------------------
+def stall_route(server, src, dst):
+    for channel in server.interconnect.route(src, dst).channels:
+        channel.stall()
+
+
+def unstall_route(server, src, dst):
+    for channel in server.interconnect.route(src, dst).channels:
+        channel.unstall()
+
+
+def test_migration_rollback_on_exhausted_retries():
+    """Regression: a reclaim evacuation whose transfer stalls through
+    every retry used to leave all three ledgers (tensor, pools,
+    coordinator) pointing at DRAM while the bytes never left the
+    producer.  The library must roll the accounting back, report the
+    failure, and leave the migration queued for a later boundary.
+    """
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    coord = Coordinator()
+    consumer = AquaLib(
+        server.gpus[0],
+        server,
+        coord,
+        retry_policy=RetryPolicy(initial_delay=0.01, max_delay=0.02, max_attempts=2),
+    )
+    producer = AquaLib(server.gpus[1], server, coord)
+    coord.pair(consumer.name, producer.name)
+    producer.complete_offer(10 * GiB)
+
+    t = consumer.to_responsive_tensor(1 * GiB)
+    assert t.on_fast_path
+
+    # Producer wants its memory back -> migration to DRAM queued.
+    producer.informer = LlmInformer(queue_high=4)
+    stats = EngineStats(now=0.0, pending_requests=100, offerable_bytes=0)
+    producer.inform_stats(stats)
+    assert producer.reclaim_pending
+
+    # The evacuation path is dead for longer than the retries last.
+    stall_route(server, producer.gpu, server.dram)
+    run(env, consumer.respond())
+
+    # Books rolled back: the tensor is still (physically and on paper)
+    # on the producer, nothing is charged to DRAM.
+    assert t.location is Location.PRODUCER
+    assert t.device is producer.gpu
+    assert producer.gpu.hbm.held(t.tag) == 1 * GiB
+    assert server.dram.pool.held(t.tag) == 0
+    assert coord.allocations[t.id].location == producer.name
+    lease = coord.leases[producer.name]
+    assert lease.used == 1 * GiB
+    assert producer.gpu.hbm.held(AQUA_OFFER_TAG) == lease.offered - lease.used
+    assert consumer.retries == 1  # one backoff retry before giving up
+    assert t.lost is False
+
+    # The reclaim is still waiting on this tensor and the migration is
+    # re-queued for the next boundary.
+    assert not coord.request(
+        "GET", "/reclaim_status", {"producer": producer.name}
+    ).body["done"]
+    assert consumer.get_tensors_to_move() == {t.id: "dram"}
+
+    # Once the route heals, the next respond() completes the evacuation.
+    unstall_route(server, producer.gpu, server.dram)
+    run(env, consumer.respond())
+    assert t.location is Location.DRAM
+    assert server.dram.pool.held(t.tag) == 1 * GiB
+    assert producer.gpu.hbm.held(t.tag) == 0
+    assert producer.inform_stats(stats) == 10 * GiB  # reclaim completes
+
+
+def test_full_lib_cycle_against_strict_json_coordinator():
+    """The library's control traffic must survive a socket-faithful
+    (strict_json) coordinator end to end, including migration maps
+    whose ids come back as strings."""
+    env = Environment()
+    server = Server(env, n_gpus=2, topology="p2p")
+    coord = Coordinator(strict_json=True)
+    consumer = AquaLib(server.gpus[0], server, coord)
+    producer = AquaLib(server.gpus[1], server, coord)
+    coord.pair(consumer.name, producer.name)
+    producer.complete_offer(4 * GiB)
+
+    t = consumer.to_responsive_tensor(1 * GiB)
+    assert t.on_fast_path
+    assert consumer.get_tensors_to_move() == {}
+
+    producer.informer = LlmInformer(queue_high=4)
+    producer.inform_stats(EngineStats(now=0.0, pending_requests=100))
+    assert consumer.get_tensors_to_move() == {t.id: "dram"}
+    run(env, consumer.respond())
+    assert t.location is Location.DRAM
+    t.free()
+    assert producer.inform_stats(
+        EngineStats(now=0.0, pending_requests=100)
+    ) == 4 * GiB
+
+
+def test_move_failed_unknown_tensor_404():
+    coord = Coordinator()
+    resp = coord.request("POST", "/move_failed", {"tensor_id": 42, "location": "dram"})
+    assert resp.status == 404
 
 
 def test_offloaded_byte_counters():

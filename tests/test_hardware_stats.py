@@ -48,15 +48,36 @@ def test_channel_counters():
     assert reverse.transfer_count == 0
 
 
-def test_nvswitch_route_splits_byte_accounting():
+def test_nvswitch_route_full_payload_per_hop():
+    """Regression: every hop of a multi-hop route carries the whole
+    payload, so each channel's ledger must record the full transfer.
+    (The old code split ``nbytes / len(route)`` across hops, silently
+    under-counting per-channel ``bytes_moved`` on NVSwitch/RDMA routes.)
+    """
     env = Environment()
     server = Server(env, n_gpus=4, topology="nvswitch")
     g0, g1 = server.gpus[:2]
     run_transfer(server, g0, g1, 10 * MB)
     egress = server.interconnect.channels[f"{server.name}:nvswitch-egress:gpu0"]
     ingress = server.interconnect.channels[f"{server.name}:nvswitch-ingress:gpu1"]
-    # Payload bytes are attributed half to each hop (sum = payload).
-    assert egress.bytes_moved + ingress.bytes_moved == 10 * MB
+    assert egress.bytes_moved == 10 * MB
+    assert ingress.bytes_moved == 10 * MB
+    assert egress.transfer_count == 1
+    assert ingress.transfer_count == 1
+    # The aggregate stats still count the payload once, not once per hop.
+    assert server.transfer_stats.bytes_total == 10 * MB
+
+
+def test_multi_hop_counters_accumulate_across_transfers():
+    env = Environment()
+    server = Server(env, n_gpus=4, topology="nvswitch")
+    g0, g1, g2 = server.gpus[:3]
+    run_transfer(server, g0, g1, 10 * MB)
+    run_transfer(server, g0, g2, 5 * MB)
+    egress = server.interconnect.channels[f"{server.name}:nvswitch-egress:gpu0"]
+    # gpu0's egress port carried both payloads in full.
+    assert egress.bytes_moved == 15 * MB
+    assert egress.transfer_count == 2
 
 
 def test_route_latency_and_bottleneck():

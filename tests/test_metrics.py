@@ -138,6 +138,20 @@ def test_collector_empty_summary():
     assert math.isnan(MetricsCollector("empty").mean_rct())
 
 
+def test_collector_empty_aggregates_all_return_nan():
+    """Regression: percentiles used to raise ValueError on an idle
+    collector while the means returned NaN.  Every collector aggregate
+    now follows the same empty-input contract."""
+    m = MetricsCollector("idle")
+    assert math.isnan(m.mean_ttft())
+    assert math.isnan(m.mean_rct())
+    assert math.isnan(m.ttft_percentile(50))
+    assert math.isnan(m.rct_percentile(95))
+    # The standalone utility stays strict: empty there is a caller bug.
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
 def test_request_lifecycle():
     r = Request(arrival_time=1.0, prompt_tokens=10, max_new_tokens=2)
     assert not r.done
