@@ -114,6 +114,10 @@ class Coordinator:
         #: Consumers whose NVLink fast path is currently degraded below
         #: the PCIe fallback; their tensors stay in (or move to) DRAM.
         self.degraded_consumers: set[str] = set()
+        #: Optional :class:`~repro.telemetry.Telemetry` hub (installed by
+        #: the experiment harness).  Counts REST traffic per endpoint and
+        #: queued migrations per reason.
+        self.telemetry = None
         self._install_routes()
 
     # ------------------------------------------------------------------
@@ -121,7 +125,15 @@ class Coordinator:
     # ------------------------------------------------------------------
     def request(self, method: str, path: str, payload: Optional[dict] = None) -> Response:
         """Entry point used by AQUA-LIB's southbound interface."""
+        if self.telemetry is not None:
+            self.telemetry.coordinator_requests.labels(
+                method=method, path=path
+            ).inc()
         return self.router.request(method, path, payload)
+
+    def _count_migration(self, reason: str, n: int = 1) -> None:
+        if self.telemetry is not None and n > 0:
+            self.telemetry.migrations_queued.labels(reason=reason).inc(n)
 
     def _install_routes(self) -> None:
         route = self.router.route
@@ -260,12 +272,15 @@ class Coordinator:
                 return Response.error(f"{producer} has no lease", status=404)
             lease.accepting = False
             reclaim = self.reclaims.setdefault(producer, ReclaimRequest(producer))
+            queued = 0
             for alloc in self.allocations.values():
                 if alloc.location == producer:
                     reclaim.pending_tensors.add(alloc.tensor_id)
                     self._migrations.setdefault(alloc.consumer, {})[
                         alloc.tensor_id
                     ] = DRAM
+                    queued += 1
+            self._count_migration("reclaim", queued)
             if reclaim.done:
                 self._finish_reclaim(producer)
                 return Response.json({"pending": 0, "done": True})
@@ -392,6 +407,7 @@ class Coordinator:
             alloc.location = location
             # The move is still owed; retry it at a later boundary.
             self._migrations.setdefault(alloc.consumer, {})[tensor_id] = target
+            self._count_migration("retry")
             return Response.json({"location": location, "requeued": target})
 
     def respond(self, consumer: str) -> Response:
@@ -418,6 +434,7 @@ class Coordinator:
                 lease = self.leases.get(producer)
                 if lease is not None and lease.accepting:
                     budget = lease.free
+                    upgrades = 0
                     for alloc in self.allocations.values():
                         if (
                             alloc.consumer == consumer
@@ -427,6 +444,8 @@ class Coordinator:
                         ):
                             moves[alloc.tensor_id] = producer
                             budget -= alloc.nbytes
+                            upgrades += 1
+                    self._count_migration("upgrade", upgrades)
             return Response.json(
                 {"migrations": {str(tid): target for tid, target in moves.items()}}
             )
@@ -486,6 +505,7 @@ class Coordinator:
                             alloc.tensor_id
                         ] = DRAM
                         evacuating += 1
+            self._count_migration("link-degraded", evacuating)
             return Response.json({"evacuating": evacuating})
 
     def link_restored(self, consumer: str) -> Response:

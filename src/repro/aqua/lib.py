@@ -59,6 +59,11 @@ class AquaLib:
     tracer:
         Optional tracer; retries land as ``"aqua-retry"`` instants on
         this GPU's track, making fault handling visible in the trace.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hub.  When set,
+        allocations/migrations/fetch/flush traffic land in the metrics
+        registry, and data-plane moves carrying a request trace ID
+        (``ctx``) get spans and flow steps on the ``aqua:<gpu>`` track.
     """
 
     def __init__(
@@ -70,6 +75,7 @@ class AquaLib:
         gather_enabled: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
         tracer: Optional["Tracer"] = None,
+        telemetry=None,
     ) -> None:
         self.gpu = gpu
         self.server = server
@@ -78,6 +84,9 @@ class AquaLib:
         self.informer = informer
         self.gather_enabled = gather_enabled
         self.retry_policy = retry_policy or RetryPolicy()
+        self.telemetry = telemetry
+        if tracer is None and telemetry is not None:
+            tracer = telemetry.tracer
         self.tracer = tracer
         self.name = gpu.name
         self.donated_bytes = 0
@@ -111,7 +120,11 @@ class AquaLib:
     # Consumer northbound interface
     # ==================================================================
     def to_responsive_tensor(
-        self, nbytes: int, pieces: int = 1, tag: str = "aqua"
+        self,
+        nbytes: int,
+        pieces: int = 1,
+        tag: str = "aqua",
+        ctx: Optional[int] = None,
     ) -> AquaTensor:
         """Allocate an offloaded tensor (the paper's
         ``to_responsive_tensor(torch_tensor)``).
@@ -119,9 +132,16 @@ class AquaLib:
         The coordinator picks the location: the paired producer GPU when
         its lease has room, host DRAM otherwise — the model never learns
         which (§3).
+
+        ``ctx`` is the owning request's trace ID: data-plane moves of
+        this tensor (fetch/flush/migrate) propagate it down to the DMA
+        layer so the request's causal trace spans every hop.
         """
         tensor = AquaTensor(self, nbytes, pieces=pieces, tag=tag)
-        self.allocate_aqua_tensor(tensor)
+        tensor.ctx = ctx
+        location = self.allocate_aqua_tensor(tensor)
+        if self.telemetry is not None:
+            self.telemetry.tensor_allocations.labels(location=location).inc()
         return tensor
 
     def respond(self) -> Generator:
@@ -311,7 +331,7 @@ class AquaLib:
             # Offloaded payloads are stored gathered, so migration moves
             # one contiguous buffer.
             moved = yield from self._resilient_copy(
-                src_device, tensor._device, tensor.nbytes
+                src_device, tensor._device, tensor.nbytes, ctx=tensor.ctx
             )
         except TransferStalled:
             # Retries exhausted with the route still stalled: the bytes
@@ -332,9 +352,18 @@ class AquaLib:
             # so the owner recomputes on its next access.
             tensor.lost = True
             self.lost_tensors += 1
+            if self.telemetry is not None:
+                self.telemetry.lost_tensors.labels(gpu=self.name).inc()
+        elif self.telemetry is not None:
+            self.telemetry.tensor_migrations.labels(target=target).inc()
 
     def _resilient_copy(
-        self, src: Hashable, dst: Hashable, nbytes: float, pieces: int = 1
+        self,
+        src: Hashable,
+        dst: Hashable,
+        nbytes: float,
+        pieces: int = 1,
+        ctx: Optional[int] = None,
     ) -> Generator:
         """One fault-tolerant transfer; returns whether the bytes moved.
 
@@ -350,7 +379,7 @@ class AquaLib:
         attempt = 1
         while True:
             try:
-                yield from self.server.transfer(src, dst, nbytes, pieces=pieces)
+                yield from self.server.transfer(src, dst, nbytes, pieces=pieces, ctx=ctx)
                 return True
             except GpuFailedError:
                 return False
@@ -359,6 +388,8 @@ class AquaLib:
                 if delay is None:
                     raise
                 self.retries += 1
+                if self.telemetry is not None:
+                    self.telemetry.transfer_retries.labels(gpu=self.name).inc()
                 if self.tracer is not None:
                     self.tracer.add_instant(
                         "aqua-retry",
@@ -389,6 +420,7 @@ class AquaLib:
         payload = tensor.nbytes if nbytes is None else min(nbytes, tensor.nbytes)
         if payload <= 0:
             return
+        started = self.env.now
         scatter = tensor.pieces if pieces is None else pieces
         effective_pieces = 1 if self.gather_enabled else scatter
         if self.gather_enabled and scatter > 1:
@@ -397,12 +429,24 @@ class AquaLib:
             staging = 2 * payload / self.gpu.spec.effective_hbm_bandwidth
             yield self.env.timeout(staging)
         moved = yield from self._resilient_copy(
-            src, dst, payload, pieces=effective_pieces
+            src, dst, payload, pieces=effective_pieces, ctx=tensor.ctx
         )
         if not moved:
             tensor.lost = True
             self.lost_tensors += 1
+            if self.telemetry is not None:
+                self.telemetry.lost_tensors.labels(gpu=self.name).inc()
             raise TensorLostError(tensor)
+        if self.telemetry is not None:
+            op = "flush" if src is self.gpu else "fetch"
+            self.telemetry.offload_bytes.labels(gpu=self.name, op=op).inc(payload)
+            if tensor.ctx is not None:
+                track = f"aqua:{self.name}"
+                self.telemetry.tracer.add_span(
+                    op, track, started, self.env.now,
+                    request=tensor.ctx, nbytes=payload, tensor=tensor.tag,
+                )
+                self.telemetry.flow(tensor.ctx, track, time=started)
 
     def __repr__(self) -> str:
         return (

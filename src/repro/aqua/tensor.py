@@ -114,6 +114,11 @@ class AquaTensor:
         #: True once the backing device failed with the bytes on it;
         #: every later data-plane access raises :class:`TensorLostError`.
         self.lost = False
+        #: Trace ID of the owning request (its ``req_id``), stamped by
+        #: :meth:`AquaLib.to_responsive_tensor <repro.aqua.lib.AquaLib.to_responsive_tensor>`
+        #: and propagated down to every DMA hop this tensor causes.
+        #: ``None`` when the owner is untraced or telemetry is off.
+        self.ctx: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property

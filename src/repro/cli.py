@@ -316,6 +316,51 @@ def cmd_audit(args) -> int:
     return rc
 
 
+def cmd_observe(args) -> int:
+    """One telemetered run: trace + metrics + latency attribution."""
+    from repro.experiments.observe import observe_experiment
+    from repro.telemetry import COMPONENTS
+
+    result = observe_experiment(duration=args.duration, faults=not args.no_faults)
+    rep = result["report"]
+
+    print(f"Observe: telemetered offloading run ({args.duration:.0f}s simulated)")
+    for entry in result["fault_log"]:
+        print(f"  t={entry['t']:7.2f}  {entry['event']}  {entry['target']}")
+    rows = []
+    for component in COMPONENTS:
+        agg = rep["aggregates"][component]
+        rows.append(
+            [
+                component,
+                f"{agg['mean']:.3f}",
+                f"{agg['p50']:.3f}",
+                f"{agg['p99']:.3f}",
+            ]
+        )
+    print(
+        report.format_table(
+            ["component", "mean_s", "p50_s", "p99_s"],
+            rows,
+            title=f"Latency attribution over {rep['count']} finished request(s)",
+        )
+    )
+
+    telemetry = result["telemetry"]
+    if args.trace:
+        telemetry.tracer.export_json(args.trace)
+        print(f"trace written to {args.trace}")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            fh.write(result["prometheus"])
+        print(f"metrics written to {args.metrics}")
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(rep, fh, indent=2)
+        print(f"attribution report written to {args.report}")
+    return 0
+
+
 def cmd_tables(args) -> None:
     for title, rows in (
         ("Table 1: LLM jobs with memory deficit", figures.table1_deficit_jobs()),
@@ -376,12 +421,27 @@ COMMANDS: dict[str, Callable] = {
     "fig14": cmd_fig14,
     "fig18": cmd_fig18,
     "resilience": cmd_resilience,
+    "observe": cmd_observe,
     "audit": cmd_audit,
     "tables": cmd_tables,
     "e2e": cmd_e2e,
     "all": cmd_all,
     "sweep": cmd_sweep,
 }
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Uniform ``--trace`` export, shared by every experiment command.
+
+    Commands whose handlers export their own tracer (``resilience``,
+    ``observe``) declare it themselves; everything else gets an ambient
+    :func:`repro.telemetry.capture_trace` wrapped around the run by
+    :func:`main`.
+    """
+    parser.add_argument(
+        "--trace", metavar="trace.json", help="write a Chrome trace of the run"
+    )
+    return parser
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -392,40 +452,50 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
 
-    p = sub.add_parser("fig01", help="motivation: TTFT/RCT per scheduler")
+    p = _add_trace_argument(
+        sub.add_parser("fig01", help="motivation: TTFT/RCT per scheduler")
+    )
     p.add_argument("--rate", type=float, default=5.0)
     p.add_argument("--count", type=int, default=60)
 
-    sub.add_parser("fig02", help="resource contention vs batch size")
+    _add_trace_argument(
+        sub.add_parser("fig02", help="resource contention vs batch size")
+    )
 
-    p = sub.add_parser("fig03", help="interconnect bandwidth + sharing impact")
+    p = _add_trace_argument(
+        sub.add_parser("fig03", help="interconnect bandwidth + sharing impact")
+    )
     p.add_argument("--duration", type=float, default=60.0)
 
-    p = sub.add_parser("fig07", help="long-prompt throughput")
+    p = _add_trace_argument(sub.add_parser("fig07", help="long-prompt throughput"))
     p.add_argument("--duration", type=float, default=120.0)
 
-    p = sub.add_parser("fig08", help="LoRA adapter RCTs")
+    p = _add_trace_argument(sub.add_parser("fig08", help="LoRA adapter RCTs"))
     p.add_argument("--rate", type=float, default=5.0)
     p.add_argument("--count", type=int, default=100)
 
-    p = sub.add_parser("fig09", help="CFS responsiveness")
+    p = _add_trace_argument(sub.add_parser("fig09", help="CFS responsiveness"))
     p.add_argument("--rates", type=float, nargs="+", default=[2.0, 5.0])
     p.add_argument("--count", type=int, default=50)
 
-    sub.add_parser("fig10", help="elastic memory sharing timeline")
-    sub.add_parser("fig11", help="producer overhead")
+    _add_trace_argument(
+        sub.add_parser("fig10", help="elastic memory sharing timeline")
+    )
+    _add_trace_argument(sub.add_parser("fig11", help="producer overhead"))
 
-    p = sub.add_parser("fig12", help="benefit vs tensor size")
+    p = _add_trace_argument(sub.add_parser("fig12", help="benefit vs tensor size"))
     p.add_argument("--count", type=int, default=200)
 
-    p = sub.add_parser("fig13", help="chatbot long-term responsiveness")
+    p = _add_trace_argument(
+        sub.add_parser("fig13", help="chatbot long-term responsiveness")
+    )
     p.add_argument("--users", type=int, default=25)
     p.add_argument("--turns", type=int, default=4)
 
-    p = sub.add_parser("fig14", help="placer convergence time")
+    p = _add_trace_argument(sub.add_parser("fig14", help="placer convergence time"))
     p.add_argument("--gpus", type=int, nargs="+", default=[16, 32, 64, 128])
 
-    p = sub.add_parser("fig18", help="NVSwitch stress")
+    p = _add_trace_argument(sub.add_parser("fig18", help="NVSwitch stress"))
     p.add_argument("--duration", type=float, default=60.0)
 
     p = sub.add_parser("resilience", help="goodput under injected faults")
@@ -435,11 +505,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault schedule JSON (default: the documented built-in scenario)",
     )
     p.add_argument("--duration", type=float, default=160.0)
-    p.add_argument("--trace", metavar="trace.json", help="write a Chrome trace")
+    _add_trace_argument(p)
     p.add_argument(
         "--audit",
         action="store_true",
         help="run the conservation audit alongside; non-zero exit on violations",
+    )
+
+    p = sub.add_parser(
+        "observe",
+        help="telemetered run: causal trace + metrics + latency attribution",
+    )
+    p.add_argument("--duration", type=float, default=45.0)
+    _add_trace_argument(p)
+    p.add_argument(
+        "--metrics",
+        metavar="metrics.prom",
+        help="write metrics in Prometheus text exposition format",
+    )
+    p.add_argument(
+        "--report",
+        metavar="report.json",
+        help="write the latency-attribution report as JSON",
+    )
+    p.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the demo DMA-stall injection",
     )
 
     p = sub.add_parser(
@@ -448,13 +540,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=60.0)
 
     sub.add_parser("tables", help="workload inventory (Tables 1-3)")
-    sub.add_parser("e2e", help="cluster placement (balanced vs LLM-heavy)")
+    _add_trace_argument(
+        sub.add_parser("e2e", help="cluster placement (balanced vs LLM-heavy)")
+    )
 
     p = sub.add_parser("all", help="run every experiment, write JSON results")
     p.add_argument("--out", default="results")
     p.add_argument("--only", nargs="*", help="subset of experiment names")
 
-    p = sub.add_parser("sweep", help="scheduler trade-offs across request rates")
+    p = _add_trace_argument(
+        sub.add_parser("sweep", help="scheduler trade-offs across request rates")
+    )
     p.add_argument("--rates", type=float, nargs="+", default=[1.0, 2.0, 4.0, 6.0])
     p.add_argument("--count", type=int, default=40)
     return parser
@@ -467,7 +563,17 @@ def main(argv=None) -> int:
         for name in sorted(COMMANDS):
             print(name)
         return 0
-    rc = COMMANDS[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path and args.command not in ("resilience", "observe"):
+        # These handlers don't know about tracing; an ambient capture
+        # picks up every engine the run builds (see capture_trace).
+        from repro.telemetry import capture_trace
+
+        with capture_trace(trace_path):
+            rc = COMMANDS[args.command](args)
+        print(f"trace written to {trace_path}")
+    else:
+        rc = COMMANDS[args.command](args)
     return int(rc or 0)
 
 

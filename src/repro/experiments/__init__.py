@@ -8,6 +8,7 @@ functions and prints the rows; ``EXPERIMENTS.md`` records the outcomes.
 """
 
 from repro.experiments.harness import ConsumerRig, build_consumer_rig, drain
+from repro.experiments.observe import observe_experiment
 from repro.experiments.report import format_table, summarize_requests
 from repro.experiments.resilience import default_fault_schedule, resilience_experiment
 
@@ -17,6 +18,7 @@ __all__ = [
     "default_fault_schedule",
     "drain",
     "format_table",
+    "observe_experiment",
     "resilience_experiment",
     "summarize_requests",
 ]

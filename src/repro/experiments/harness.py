@@ -21,6 +21,7 @@ from repro.models.diffusion import DiffusionSpec
 from repro.models.llm import LLMSpec
 from repro.serving import BatchEngine, CFSEngine, FlexGenEngine, LoRACache, VLLMEngine
 from repro.sim import Environment
+from repro.telemetry import Telemetry, active_capture_tracer
 
 ProducerSpec = Union[DiffusionSpec, AudioModelSpec, LLMSpec]
 
@@ -39,6 +40,7 @@ class ConsumerRig:
     producer_lib: Optional[AquaLib] = None
     lora_cache: Optional[LoRACache] = None
     auditor: Optional[ConservationAuditor] = None
+    telemetry: Optional[Telemetry] = None
     extras: dict = field(default_factory=dict)
 
     def start(self) -> "ConsumerRig":
@@ -59,11 +61,14 @@ def _producer_informer(model: ProducerSpec):
     return BatchInformer()
 
 
-def _make_producer(server, gpu, model: ProducerSpec, coordinator, name: str):
-    lib = AquaLib(gpu, server, coordinator, informer=_producer_informer(model))
+def _make_producer(server, gpu, model: ProducerSpec, coordinator, name: str, telemetry=None):
+    lib = AquaLib(
+        gpu, server, coordinator, informer=_producer_informer(model), telemetry=telemetry
+    )
     if isinstance(model, LLMSpec):
         engine = VLLMEngine(
-            gpu, server, model, aqua_lib=lib, inform_every=4, name=name
+            gpu, server, model, aqua_lib=lib, inform_every=4, name=name,
+            telemetry=telemetry,
         )
     else:
         engine = BatchEngine(gpu, server, model, aqua_lib=lib, name=name)
@@ -85,6 +90,7 @@ def build_consumer_rig(
     name_prefix: str = "",
     audit: bool = False,
     audit_interval: float = 1.0,
+    telemetry: bool = False,
 ) -> ConsumerRig:
     """Build a consumer/producer pair.
 
@@ -108,6 +114,12 @@ def build_consumer_rig(
         simulated seconds.  The auditor is available as ``rig.auditor``;
         call ``rig.auditor.check()`` for a final checkpoint and
         ``rig.auditor.report()`` for the outcome.
+    telemetry:
+        Build a :class:`~repro.telemetry.Telemetry` hub and wire it into
+        the server (DMA hooks + pool/link gauges), coordinator, engines
+        and AQUA-LIB instances.  Available as ``rig.telemetry``; see
+        ``docs/observability.md``.  Off by default — a disabled rig has
+        bit-identical behaviour (audit digests are unchanged).
     """
     if consumer_kind not in ("vllm", "cfs", "flexgen"):
         raise ValueError(f"unknown consumer kind {consumer_kind!r}")
@@ -124,6 +136,12 @@ def build_consumer_rig(
     coordinator = coordinator or Coordinator()
     kwargs = dict(consumer_kwargs or {})
 
+    tm = None
+    if telemetry:
+        tm = Telemetry(env)
+        tm.attach_server(server)
+        coordinator.telemetry = tm
+
     consumer_lib = None
     if use_aqua or consumer_kind == "flexgen":
         # FlexGen always goes through AQUA-LIB; without a producer the
@@ -133,6 +151,7 @@ def build_consumer_rig(
             server,
             coordinator,
             gather_enabled=use_aqua,
+            telemetry=tm,
         )
 
     producer_engine = producer_lib = None
@@ -143,6 +162,7 @@ def build_consumer_rig(
             producer_model,
             coordinator,
             name=f"{name_prefix}producer-{producer_model.name}",
+            telemetry=tm,
         )
         if use_aqua and consumer_lib is not None:
             coordinator.pair(consumer_lib.name, producer_lib.name)
@@ -162,7 +182,8 @@ def build_consumer_rig(
     name = f"{name_prefix}{consumer_kind}-{consumer_model.name}"
     if consumer_kind == "vllm":
         consumer_engine = VLLMEngine(
-            gpu, server, consumer_model, lora_cache=lora_cache, name=name, **kwargs
+            gpu, server, consumer_model, lora_cache=lora_cache, name=name,
+            telemetry=tm, **kwargs
         )
     elif consumer_kind == "cfs":
         consumer_engine = CFSEngine(
@@ -173,13 +194,25 @@ def build_consumer_rig(
             aqua_lib=consumer_lib if use_aqua else None,
             lora_cache=lora_cache,
             name=name,
+            telemetry=tm,
             **kwargs,
         )
     else:  # flexgen
         kwargs.setdefault("workspace_tokens", 8000)
         consumer_engine = FlexGenEngine(
-            gpu, server, consumer_model, aqua_lib=consumer_lib, name=name, **kwargs
+            gpu, server, consumer_model, aqua_lib=consumer_lib, name=name,
+            telemetry=tm, **kwargs
         )
+
+    # An ambient --trace capture (repro.telemetry.capture_trace) picks up
+    # any engine/lib built without its own tracer, so every CLI command
+    # can export a trace without per-experiment plumbing.
+    capture = active_capture_tracer()
+    if capture is not None:
+        for traced in (consumer_engine, producer_engine, consumer_lib, producer_lib):
+            # BatchEngine producers have no tracer attribute — skip them.
+            if traced is not None and getattr(traced, "tracer", False) is None:
+                traced.tracer = capture
 
     auditor = None
     if audit:
@@ -198,6 +231,7 @@ def build_consumer_rig(
         producer_lib=producer_lib,
         lora_cache=lora_cache,
         auditor=auditor,
+        telemetry=tm,
     )
 
 

@@ -1,0 +1,95 @@
+"""Observability showcase: one telemetered run of the offloading rig.
+
+This experiment exists to exercise the whole :mod:`repro.telemetry`
+stack on a small but representative workload — the Figure 7 rig (a
+FlexGen long-prompt consumer offloading its context to an LLM producer
+over NVLink) plus light interactive traffic on the producer, and
+optionally one short DMA stall so the fault metrics are non-empty.
+
+It returns everything the ``aqua-repro observe`` CLI command exports:
+
+``telemetry``
+    The live :class:`~repro.telemetry.Telemetry` hub (tracer included).
+``report``
+    The latency-attribution report (see ``docs/observability.md``).
+``prometheus``
+    Metrics in Prometheus text exposition format.
+``metrics``
+    The same registry as a JSON-friendly dict.
+``fault_log``
+    The injector's apply/clear log (empty when ``faults=False``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import build_consumer_rig
+from repro.faults import DmaStall, FaultInjector, FaultSchedule
+from repro.models import LLAMA2_13B, OPT_30B
+from repro.workloads.arrivals import submit_all
+from repro.workloads.longprompt import long_prompt_requests
+from repro.workloads.sharegpt import sharegpt_requests
+
+
+def observe_experiment(
+    duration: float = 45.0,
+    faults: bool = True,
+    workload_start: float = 3.0,
+    max_new_tokens: int = 60,
+) -> dict:
+    """One fully telemetered run of the FlexGen/NVLink offloading rig.
+
+    Parameters
+    ----------
+    duration:
+        Simulated seconds to run.
+    faults:
+        Inject a short (2 s) DMA stall on the fetch link at t=12 so the
+        fault/retry metric families have samples.  ``False`` gives a
+        clean run.
+    workload_start:
+        Arrival time of the long-prompt request (the producer donates
+        its spare memory first).
+    max_new_tokens:
+        Decode budget of the long-prompt request — bounded, so the
+        request *finishes* and its latency attribution is complete.
+    """
+    rig = build_consumer_rig(
+        "flexgen",
+        OPT_30B,
+        producer_model=LLAMA2_13B,
+        use_aqua=True,
+        telemetry=True,
+    )
+    tm = rig.telemetry
+    env = rig.env
+
+    fault_log: list[dict] = []
+    if faults:
+        injector = FaultInjector(rig.server, coordinator=rig.coordinator, telemetry=tm)
+        injector.install(
+            FaultSchedule([DmaStall(at=12.0, channel="nvlink:gpu1->gpu0", duration=2.0)])
+        )
+        fault_log = injector.log
+
+    rig.start()
+
+    consumer_requests = long_prompt_requests(
+        start=workload_start, max_new_tokens=max_new_tokens
+    )
+    submit_all(env, rig.consumer_engine, consumer_requests)
+
+    producer_requests = sharegpt_requests(rate=1.0, count=10, start=workload_start)
+    submit_all(env, rig.producer_engine, producer_requests)
+
+    env.run(until=duration)
+
+    return {
+        "telemetry": tm,
+        "report": tm.attribution_report(),
+        "prometheus": tm.prometheus_text(),
+        "metrics": tm.metrics_dict(),
+        "fault_log": fault_log,
+        "consumer_requests": consumer_requests,
+        "producer_requests": producer_requests,
+        "tokens_total": rig.consumer_engine.metrics.tokens_generated,
+    }

@@ -47,6 +47,9 @@ class FaultInjector:
     tracer:
         Optional :class:`~repro.trace.Tracer`; every apply/clear lands
         as an instant event on the ``"faults"`` track.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hub; every
+        apply/clear increments ``aqua_faults_total{kind, phase}``.
 
     Attributes
     ----------
@@ -60,10 +63,14 @@ class FaultInjector:
         server: "Server",
         coordinator: Optional["Coordinator"] = None,
         tracer: Optional["Tracer"] = None,
+        telemetry=None,
     ) -> None:
         self.server = server
         self.env = server.env
         self.coordinator = coordinator
+        self.telemetry = telemetry
+        if tracer is None and telemetry is not None:
+            tracer = telemetry.tracer
         self.tracer = tracer
         self.log: list[dict] = []
         self._processes: list[Process] = []
@@ -216,6 +223,8 @@ class FaultInjector:
         self.log.append(
             {"t": self.env.now, "event": f"{fault.kind}:{phase}", "target": names}
         )
+        if self.telemetry is not None:
+            self.telemetry.record_fault(fault.kind, phase)
         if self.tracer is not None:
             self.tracer.add_instant(
                 f"{fault.kind}:{phase}", "faults", time=self.env.now, targets=names

@@ -107,6 +107,13 @@ class Transfer:
         (the motivation for AQUA's gather/scatter batching, §5).
     stats:
         Optional aggregate collector.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hub; completed
+        copies report per-channel bytes/contention and, when ``ctx`` is
+        set, per-hop ``dma`` spans and flow steps on ``link:*`` tracks.
+    ctx:
+        Trace ID of the request this copy serves (``None`` when the
+        copy is not request-scoped — producer swaps, cache loads).
     """
 
     def __init__(
@@ -118,6 +125,8 @@ class Transfer:
         nbytes: float,
         pieces: int = 1,
         stats: Optional[TransferStats] = None,
+        telemetry=None,
+        ctx: Optional[int] = None,
     ) -> None:
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
@@ -130,7 +139,12 @@ class Transfer:
         self.nbytes = float(nbytes)
         self.pieces = pieces
         self.stats = stats
+        self.telemetry = telemetry
+        self.ctx = ctx
         self.started_at: Optional[float] = None
+        #: When every channel grant was held — ``acquired_at - started_at``
+        #: is the link-contention wait this copy paid.
+        self.acquired_at: Optional[float] = None
         self.finished_at: Optional[float] = None
 
     @property
@@ -177,7 +191,7 @@ class Transfer:
         """
         self.started_at = self.env.now
         if self.nbytes == 0:
-            self.finished_at = self.env.now
+            self.acquired_at = self.finished_at = self.env.now
             return self
 
         route = self.interconnect.route(self.src, self.dst)
@@ -188,6 +202,7 @@ class Transfer:
         requests = [ch.engine.request() for ch in ordered]
         try:
             yield AllOf(self.env, requests)
+            self.acquired_at = self.env.now
             duration = self.wire_time(route)
             for gpu in self._endpoints():
                 gpu.active_copies += 1
@@ -206,6 +221,8 @@ class Transfer:
             if self.stats is not None:
                 route_name = f"{getattr(self.src, 'name', self.src)}->" f"{getattr(self.dst, 'name', self.dst)}"
                 self.stats.record(route_name, self.nbytes, duration, channels=ordered)
+            if self.telemetry is not None:
+                self.telemetry.record_transfer(self, ordered)
         finally:
             for channel, request in zip(ordered, requests):
                 channel.engine.release(request)

@@ -27,10 +27,14 @@ class MemoryPool:
 
     capacity: int
     reservations: dict[str, int] = field(default_factory=dict)
+    #: High-water mark of :attr:`used` over the pool's lifetime —
+    #: exported as ``aqua_pool_peak_bytes`` by the telemetry layer.
+    peak: int = 0
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise ValueError(f"capacity must be positive, got {self.capacity}")
+        self.peak = max(self.peak, self.used)
 
     @property
     def used(self) -> int:
@@ -50,6 +54,8 @@ class MemoryPool:
                 f"only {self.free} of {self.capacity} free"
             )
         self.reservations[tag] = self.reservations.get(tag, 0) + nbytes
+        if self.used > self.peak:
+            self.peak = self.used
 
     def release(self, tag: str, nbytes: Optional[int] = None) -> int:
         """Release ``nbytes`` (default: all) held under ``tag``.

@@ -70,6 +70,10 @@ class Server:
         self.dram = HostDRAM(env, dram_bytes, server=self)
         self.interconnect = Interconnect(env)
         self.transfer_stats = TransferStats()
+        #: Optional :class:`~repro.telemetry.Telemetry` hub; installed by
+        #: ``Telemetry.attach_server``.  When set, every completed DMA
+        #: copy reports per-channel metrics (and request-scoped spans).
+        self.telemetry = None
         self._wire()
 
     # ------------------------------------------------------------------
@@ -114,9 +118,18 @@ class Server:
     # Operations
     # ------------------------------------------------------------------
     def transfer(
-        self, src: Hashable, dst: Hashable, nbytes: float, pieces: int = 1
+        self,
+        src: Hashable,
+        dst: Hashable,
+        nbytes: float,
+        pieces: int = 1,
+        ctx: Optional[int] = None,
     ) -> Generator:
-        """Copy ``nbytes`` from ``src`` to ``dst``; yield-from inside a process."""
+        """Copy ``nbytes`` from ``src`` to ``dst``; yield-from inside a process.
+
+        ``ctx`` is the trace ID of the request the copy serves, if any —
+        it ties the DMA hop into the request's causal trace.
+        """
         t = Transfer(
             self.env,
             self.interconnect,
@@ -125,6 +138,8 @@ class Server:
             nbytes,
             pieces=pieces,
             stats=self.transfer_stats,
+            telemetry=self.telemetry,
+            ctx=ctx,
         )
         return (yield from t.run())
 

@@ -167,6 +167,9 @@ class CFSEngine(LLMEngineBase):
             self.trace_span(
                 "context-switch", started, out=len(out), swapped_in=len(into)
             )
+            # Context switches are offload traffic: swap-out victims and
+            # swapped-in winners both spent this window on the fetch path.
+            self.attr_mark([*out, *into], "offload_fetch")
 
     def _admit_new(self, active: list[Request]) -> Generator:
         """Prefill requests entering the GPU for the first time.
@@ -178,6 +181,7 @@ class CFSEngine(LLMEngineBase):
         fresh = [r for r in active if r in self.waiting]
         if not fresh:
             return
+        self.attr_mark(fresh, "queueing")
         prefill_tokens = 0
         for request in fresh:
             self.waiting.remove(request)
@@ -198,6 +202,8 @@ class CFSEngine(LLMEngineBase):
         self.trace_span(
             "prefill", started, requests=len(fresh), tokens=prefill_tokens
         )
+        self.attr_mark(fresh, "prefill_compute")
+        self.flow_step(fresh, time=started)
         for request in fresh:
             self._finish_token(request)
             if request.done:
@@ -217,6 +223,7 @@ class CFSEngine(LLMEngineBase):
     def _run_slice(self) -> Generator:
         slice_started = self.env.now
         slice_batch = len(self.running)
+        seen: dict[int, Request] = {}
         try:
             for _ in range(self.slice_tokens):
                 batch = list(self.running)
@@ -226,6 +233,7 @@ class CFSEngine(LLMEngineBase):
                 step = self.model.decode_step_time(self.gpu.spec, len(batch), context)
                 yield from self.gpu.compute_op(step)
                 for request in batch:
+                    seen.setdefault(request.req_id, request)
                     self.kv.append_token(request.req_id)
                     self._finish_token(request)
                     if request.done:
@@ -235,6 +243,9 @@ class CFSEngine(LLMEngineBase):
         finally:
             if slice_batch and self.env.now > slice_started:
                 self.trace_span("slice", slice_started, batch=slice_batch)
+                if self.telemetry is not None:
+                    self.telemetry.decode_batch(self.name, slice_batch)
+                    self.attr_mark(list(seen.values()), "decode_hbm")
 
     def _evict_oversized(self) -> None:
         """No live prompt fits the KV cache: reject or truncate one."""

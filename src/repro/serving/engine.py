@@ -49,6 +49,11 @@ class LLMEngineBase:
         it reports stats and donates / takes back KV memory.
     inform_every:
         Iterations between ``inform_stats`` calls.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` hub.  When set the
+        engine reports request/token/requeue counters, latency
+        attribution marks and flow events; when ``None`` (the default)
+        every hook is a single ``None`` check.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class LLMEngineBase:
         inform_every: int = 8,
         name: str = "llm-engine",
         tracer=None,
+        telemetry=None,
     ) -> None:
         if not 0 < utilization <= 1:
             raise ValueError(f"utilization must be in (0, 1], got {utilization}")
@@ -73,6 +79,9 @@ class LLMEngineBase:
         self.aqua_lib = aqua_lib
         self.inform_every = inform_every
         self.name = name
+        self.telemetry = telemetry
+        if tracer is None and telemetry is not None:
+            tracer = telemetry.tracer
         self.tracer = tracer
         self.metrics = MetricsCollector(name)
 
@@ -111,6 +120,8 @@ class LLMEngineBase:
         """Enqueue a request for inference."""
         self.waiting.append(request)
         self.total_submitted += 1
+        if self.telemetry is not None:
+            self.telemetry.request_submitted(self.name, request)
         if not self._arrival_event.triggered:
             self._arrival_event.succeed()
 
@@ -142,6 +153,8 @@ class LLMEngineBase:
         """Record one generated token, completing the request if done."""
         request.record_token(self.env.now)
         self.metrics.record_token(self.env.now)
+        if self.telemetry is not None:
+            self.telemetry.token_generated(self.name, request)
         if request.done:
             self.metrics.record_completion(request)
 
@@ -160,6 +173,8 @@ class LLMEngineBase:
             self.running.remove(request)
         self.waiting.appendleft(request)
         self.metrics.record_requeue(self.env.now)
+        if self.telemetry is not None:
+            self.telemetry.request_requeued(self.name)
         if self.tracer is not None:
             self.tracer.add_instant(
                 "requeue", self.name, time=self.env.now, request=request.req_id
@@ -229,6 +244,26 @@ class LLMEngineBase:
         """Record a span from ``start`` to now on this engine's track."""
         if self.tracer is not None:
             self.tracer.add_span(name, self.name, start, self.env.now, **args)
+
+    def attr_mark(self, requests, component: str) -> None:
+        """Attribute each request's time since its last mark to ``component``.
+
+        One line at every scheduling boundary; see
+        :class:`~repro.telemetry.attribution.LatencyAttributor` for the
+        telescoping-segments model this feeds.
+        """
+        if self.telemetry is None:
+            return
+        now = self.env.now
+        for request in requests:
+            self.telemetry.attribution.mark(request, component, now)
+
+    def flow_step(self, requests, time=None) -> None:
+        """Add a flow-chain step on this engine's track for each request."""
+        if self.telemetry is None:
+            return
+        for request in requests:
+            self.telemetry.flow(request.req_id, self.name, time=time)
 
     def sample_memory(self) -> None:
         """Record the GPU's free-memory time series (Figure 10a)."""

@@ -70,13 +70,20 @@ class FlexGenEngine(LLMEngineBase):
         step = self.model.decode_step_time(self.gpu.spec, 1, 0)
         yield from self.gpu.compute_op(step)
 
+    def _stamped(self, gen: Generator, sink: dict, key: str) -> Generator:
+        """Run ``gen`` and note its completion time (timing-neutral)."""
+        yield from gen
+        sink[key] = self.env.now
+
     def _infer(self, request: Request) -> Generator:
         budget = min(request.max_new_tokens, self.alloc_horizon_tokens)
         max_total = request.prompt_tokens + budget
+        self.attr_mark([request], "queueing")
         tensor = self.aqua_lib.to_responsive_tensor(
             self.model.kv_bytes(max_total),
             pieces=self._stream_pieces(),
             tag=f"flexgen-ctx-{request.req_id}",
+            ctx=request.req_id,
         )
         try:
             # Prefill: compute the context, stream its KV out to the tensor.
@@ -85,23 +92,49 @@ class FlexGenEngine(LLMEngineBase):
             # far — progress is kept, the lost KV is re-derived.
             context_tokens = min(request.total_tokens, max_total - 1)
             prefill = self.model.prefill_time(self.gpu.spec, context_tokens)
+            started = self.env.now
             yield from self.gpu.compute_op(prefill)
+            self.trace_span("prefill", started, tokens=context_tokens)
+            self.attr_mark([request], "prefill_compute")
+            self.flow_step([request], time=started)
             yield from tensor.flush(
                 nbytes=self.model.kv_bytes(context_tokens),
                 pieces=self._stream_pieces(),
             )
+            self.attr_mark([request], "offload_fetch")
             self._finish_token(request)
 
             # Decode: every token re-reads the whole context (plus writes
             # one token of fresh KV, folded into the same stream).
             while not request.done and request.total_tokens < max_total:
                 io_bytes = self.model.kv_bytes(request.total_tokens + 1)
-                io = self.env.process(self._io_step(tensor, io_bytes))
-                compute = self.env.process(self._compute_step())
-                yield AllOf(self.env, [io, compute])
+                if self.telemetry is None:
+                    io = self.env.process(self._io_step(tensor, io_bytes))
+                    compute = self.env.process(self._compute_step())
+                    yield AllOf(self.env, [io, compute])
+                else:
+                    # Attribute the overlapped step to whichever side
+                    # bound it: the fetch stream if I/O finished last,
+                    # the GPU otherwise.  The stamping wrapper only
+                    # records finish times — timing is identical.
+                    finished: dict[str, float] = {}
+                    io = self.env.process(
+                        self._stamped(self._io_step(tensor, io_bytes), finished, "io")
+                    )
+                    compute = self.env.process(
+                        self._stamped(self._compute_step(), finished, "compute")
+                    )
+                    yield AllOf(self.env, [io, compute])
+                    bound = (
+                        "offload_fetch"
+                        if finished["io"] >= finished["compute"]
+                        else "decode_hbm"
+                    )
+                    self.attr_mark([request], bound)
                 self._finish_token(request)
                 if request.generated_tokens % self.respond_every == 0:
                     yield from self.aqua_lib.respond()
+                    self.attr_mark([request], "offload_fetch")
         finally:
             tensor.free()
 

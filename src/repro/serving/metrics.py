@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -11,6 +12,10 @@ from repro.serving.request import Request
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile (``q`` in [0, 100]).
+
+    Empty input is a *programming error* here and raises; the
+    :class:`MetricsCollector` aggregates built on top return NaN for
+    "no traffic yet" instead (see the contract note there).
 
     Raises
     ------
@@ -57,8 +62,15 @@ class TimeSeries:
         return self.values[-1] if self.values else None
 
     def window_sum(self, start: float, end: float) -> float:
-        """Sum of values sampled in ``[start, end)``."""
-        return sum(v for t, v in zip(self.times, self.values) if start <= t < end)
+        """Sum of values sampled in ``[start, end)``.
+
+        ``append`` enforces time order, so the window is located with
+        two binary searches instead of scanning the whole series —
+        goodput samplers call this every simulated second.
+        """
+        lo = bisect_left(self.times, start)
+        hi = bisect_left(self.times, end, lo=lo)
+        return sum(self.values[lo:hi])
 
 
 class MetricsCollector:

@@ -52,6 +52,9 @@ class OrcaEngine(VLLMEngine):
         started = self.env.now
         yield from self.gpu.compute_op(step)
         self.trace_span("decode", started, batch=len(batch))
+        if self.telemetry is not None:
+            self.telemetry.decode_batch(self.name, len(batch))
+            self.attr_mark(batch, "decode_hbm")
         for request in batch:
             # The reservation already covers this token: no allocation,
             # no possibility of mid-generation OOM (that is the one

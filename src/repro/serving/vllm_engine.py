@@ -99,6 +99,7 @@ class VLLMEngine(LLMEngineBase):
 
     def _prefill(self, admitted: list[Request]) -> Generator:
         """Run prefill for newly admitted requests (adapter loads first)."""
+        self.attr_mark(admitted, "queueing")
         if self.lora_cache is not None:
             for request in admitted:
                 if request.adapter is not None:
@@ -107,6 +108,8 @@ class VLLMEngine(LLMEngineBase):
         started = self.env.now
         yield from self.gpu.compute_op(self.model.prefill_time(self.gpu.spec, tokens))
         self.trace_span("prefill", started, requests=len(admitted), tokens=tokens)
+        self.attr_mark(admitted, "prefill_compute")
+        self.flow_step(admitted, time=started)
         for request in admitted:
             # Prefill emits the first token; preempted sequences resuming
             # via recompute have already reported theirs.
@@ -124,6 +127,9 @@ class VLLMEngine(LLMEngineBase):
         started = self.env.now
         yield from self.gpu.compute_op(step)
         self.trace_span("decode", started, batch=len(batch))
+        if self.telemetry is not None:
+            self.telemetry.decode_batch(self.name, len(batch))
+            self.attr_mark(batch, "decode_hbm")
         yield from self._decode_bookkeeping(batch)
 
     def _decode_bookkeeping(self, batch: list[Request]) -> Generator:
@@ -160,6 +166,8 @@ class VLLMEngine(LLMEngineBase):
         victim = max(victims, key=lambda r: r.arrival_time)
         self.running.remove(victim)
         self.preemptions += 1
+        if self.telemetry is not None:
+            self.telemetry.preemption(self.name)
         if self.preemption_mode == "swap":
             nbytes = self.kv.swap_out(victim.req_id)
             self.server.dram.pool.reserve(f"{self.name}:swap{victim.req_id}", nbytes)
@@ -208,11 +216,14 @@ class VLLMEngine(LLMEngineBase):
         started = self.env.now
         yield from self.gpu.compute_op(duration)
         self.trace_span("chunked-prefill", started, chunk=chunk, batch=len(batch))
+        self.attr_mark([request], "prefill_compute")
         if batch:
+            self.attr_mark(batch, "decode_hbm")
             yield from self._decode_bookkeeping(batch)
         self.prefilling[0][1] -= chunk
         if self.prefilling[0][1] <= 0:
             self.prefilling.pop(0)
+            self.flow_step([request], time=started)
             self._finish_token(request)
             if request.done:
                 self.kv.release(request.req_id)
@@ -220,6 +231,7 @@ class VLLMEngine(LLMEngineBase):
                 self.running.append(request)
 
     def _start_chunked_prefill(self, admitted: list[Request]) -> Generator:
+        self.attr_mark(admitted, "queueing")
         if self.lora_cache is not None:
             for request in admitted:
                 if request.adapter is not None:

@@ -1,0 +1,42 @@
+"""Unified telemetry: causal tracing, labeled metrics, latency attribution.
+
+See ``docs/observability.md`` for the full model.  The package has
+three pillars, all reachable from one :class:`Telemetry` hub:
+
+* :mod:`repro.telemetry.registry` — Prometheus-style ``Counter`` /
+  ``Gauge`` / ``Histogram`` families in a central :class:`Registry`,
+  exported as text exposition format or JSON;
+* :mod:`repro.telemetry.attribution` — per-request latency
+  decomposition into queueing / prefill / decode / offload-fetch /
+  link-contention components with exact (telescoping) sums;
+* request-scoped flow events recorded through the shared
+  :class:`~repro.trace.Tracer`, linking one request's spans across
+  engine, AQUA and DMA tracks.
+
+Enable per rig with ``build_consumer_rig(..., telemetry=True)`` or run
+``aqua-repro observe``.  Disabled telemetry costs one ``None`` check
+per hook and changes nothing else.
+"""
+
+from repro.telemetry.attribution import COMPONENTS, LatencyAttributor
+from repro.telemetry.hub import Telemetry, active_capture_tracer, capture_trace
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    parse_prometheus_text,
+)
+
+__all__ = [
+    "COMPONENTS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyAttributor",
+    "Registry",
+    "Telemetry",
+    "active_capture_tracer",
+    "capture_trace",
+    "parse_prometheus_text",
+]

@@ -1,0 +1,217 @@
+"""Latency attribution: where did each request's time actually go?
+
+The attributor decomposes a request's end-to-end latency into named
+components by *telescoping marks*: a timeline starts at the request's
+arrival, and every call to :meth:`LatencyAttributor.mark` closes the
+segment ``[last_mark, now]`` under one component label.  Because each
+segment begins exactly where the previous one ended, the segments
+partition ``[arrival_time, finish_time]`` with no gaps and no double
+counting — per-request component sums therefore equal the end-to-end
+latency *exactly* (any tail not covered by a mark is reported as
+``"other"``).
+
+Link contention is handled as a carve-out rather than its own mark:
+the DMA layer reports, per request, how long a transfer sat waiting
+for a channel grant (:meth:`note_contention`); the next
+``offload_fetch`` segment for that request is split so the waiting
+portion shows up under ``link_contention`` instead.
+
+Component vocabulary (:data:`COMPONENTS`):
+
+``queueing``
+    Waiting in the engine's admission queue before prefill starts.
+``prefill_compute``
+    GPU compute time for the prompt pass.
+``decode_hbm``
+    Decode-step time bound by GPU compute/HBM (including batching
+    overheads the engine cannot distinguish from it).
+``offload_fetch``
+    Time waiting on AQUA-LIB offload/fetch DMA (net of contention).
+``link_contention``
+    Portion of offload/fetch spent queueing for an interconnect channel.
+``other``
+    Residual not covered by any mark (context switches, bookkeeping).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+COMPONENTS = (
+    "queueing",
+    "prefill_compute",
+    "decode_hbm",
+    "offload_fetch",
+    "link_contention",
+    "other",
+)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile; NaN on empty input.
+
+    Local copy rather than importing :func:`repro.serving.metrics.percentile`
+    (which raises on empty) — aggregates over a component nobody used
+    should read NaN, matching the collector convention.
+    """
+    if not values:
+        return float("nan")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = (q / 100.0) * (len(data) - 1)
+    low = int(math.floor(pos))
+    high = min(low + 1, len(data) - 1)
+    frac = pos - low
+    return data[low] * (1.0 - frac) + data[high] * frac
+
+
+@dataclass
+class _Timeline:
+    request: object
+    last_mark: float
+    segments: list[tuple[float, float, str]] = field(default_factory=list)
+    pending_contention: float = 0.0
+
+
+class LatencyAttributor:
+    """Accumulates per-request component timelines and aggregates them."""
+
+    def __init__(self) -> None:
+        self._timelines: dict[int, _Timeline] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe(self, request) -> None:
+        """Start (or restart from arrival) the timeline for ``request``."""
+        if request.req_id not in self._timelines:
+            self._timelines[request.req_id] = _Timeline(
+                request=request, last_mark=request.arrival_time
+            )
+
+    def mark(self, request, component: str, now: float) -> None:
+        """Attribute ``[last_mark, now]`` of ``request`` to ``component``."""
+        if component not in COMPONENTS:
+            raise ValueError(f"unknown component {component!r}")
+        self.observe(request)
+        timeline = self._timelines[request.req_id]
+        start = timeline.last_mark
+        if now <= start:
+            return
+        if component == "offload_fetch" and timeline.pending_contention > 0.0:
+            # Split the fetch segment: the reported channel-wait portion
+            # goes to link_contention, the remainder stays offload_fetch.
+            contended = min(timeline.pending_contention, now - start)
+            timeline.segments.append((start, start + contended, "link_contention"))
+            timeline.pending_contention -= contended
+            start += contended
+        if now > start:
+            timeline.segments.append((start, now, component))
+        timeline.last_mark = now
+
+    def note_contention(self, req_id: Optional[int], seconds: float) -> None:
+        """Record channel-wait time to carve from the next fetch mark."""
+        if req_id is None or seconds <= 0.0:
+            return
+        timeline = self._timelines.get(req_id)
+        if timeline is not None:
+            timeline.pending_contention += seconds
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def components_of(self, request, until: Optional[float] = None) -> dict[str, float]:
+        """Component totals for ``request``, clipped at ``until``.
+
+        Segments are clipped rather than dropped so sums stay exact even
+        when a mark lands after ``finish_time`` (e.g. decode bookkeeping
+        that completes the final token mid-step).
+        """
+        totals = {c: 0.0 for c in COMPONENTS}
+        timeline = self._timelines.get(request.req_id)
+        if timeline is None:
+            return totals
+        for start, end, component in timeline.segments:
+            if until is not None:
+                if start >= until:
+                    continue
+                end = min(end, until)
+            totals[component] += end - start
+        return totals
+
+    def breakdown(self, request) -> dict[str, float]:
+        """Full end-to-end decomposition; components sum to ``rct`` exactly."""
+        if request.finish_time is None:
+            raise ValueError(f"request {request.req_id} has not finished")
+        totals = self.components_of(request, until=request.finish_time)
+        covered = sum(totals.values())
+        totals["other"] += max(0.0, request.rct - covered)
+        return totals
+
+    def finished_requests(self) -> list:
+        return [
+            t.request
+            for t in self._timelines.values()
+            if t.request.finish_time is not None
+        ]
+
+    def report(self) -> dict:
+        """Attribution report over all finished requests.
+
+        Schema::
+
+            {
+              "components": [...],            # the component vocabulary
+              "requests": [
+                {"req_id": ..., "ttft": ..., "rct": ..., "tokens": ...,
+                 "components": {...},         # sums to rct exactly
+                 "ttft_components": {...},    # clipped at first token
+                 "per_token": {...}},         # components / tokens
+                ...
+              ],
+              "aggregates": {
+                "<component>": {"mean": ..., "p50": ..., "p99": ...},
+                ...
+              },
+              "count": <finished request count>,
+            }
+        """
+        requests = sorted(self.finished_requests(), key=lambda r: r.req_id)
+        entries = []
+        per_component: dict[str, list[float]] = {c: [] for c in COMPONENTS}
+        for request in requests:
+            components = self.breakdown(request)
+            ttft_components = self.components_of(
+                request, until=request.first_token_time
+            )
+            tokens = max(1, request.generated_tokens)
+            entries.append(
+                {
+                    "req_id": request.req_id,
+                    "ttft": request.ttft,
+                    "rct": request.rct,
+                    "tokens": request.generated_tokens,
+                    "components": components,
+                    "ttft_components": ttft_components,
+                    "per_token": {c: v / tokens for c, v in components.items()},
+                }
+            )
+            for component, value in components.items():
+                per_component[component].append(value)
+        aggregates = {
+            component: {
+                "mean": (sum(values) / len(values)) if values else float("nan"),
+                "p50": _percentile(values, 50.0),
+                "p99": _percentile(values, 99.0),
+            }
+            for component, values in per_component.items()
+        }
+        return {
+            "components": list(COMPONENTS),
+            "requests": entries,
+            "aggregates": aggregates,
+            "count": len(entries),
+        }

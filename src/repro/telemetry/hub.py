@@ -1,0 +1,301 @@
+"""The telemetry hub: one object wiring tracing, metrics and attribution.
+
+:class:`Telemetry` bundles the three pillars of the observability layer
+— a :class:`~repro.trace.Tracer` (request-scoped causal tracing via
+flow events), a :class:`~repro.telemetry.registry.Registry` (labeled
+Prometheus-style metrics) and a
+:class:`~repro.telemetry.attribution.LatencyAttributor` (per-request
+latency decomposition) — behind small hook methods that the engines,
+AQUA-LIB, the coordinator, the DMA layer and the fault injector call.
+
+Every instrumented call site guards on ``telemetry is None``, so a run
+without telemetry pays exactly one ``None`` check per hook and records
+nothing; determinism digests are bit-identical either way.
+
+Trace-ID propagation model
+--------------------------
+The trace ID of a request is its ``req_id``.  It travels as a plain
+``Optional[int]`` (``ctx``): engines stamp it onto AQUA tensors at
+allocation (``to_responsive_tensor(..., ctx=req_id)``), AQUA-LIB passes
+it down to ``Server.transfer(..., ctx=...)``, and each completed DMA
+hop reports back through :meth:`Telemetry.record_transfer`.  The hub
+turns these sightings into Chrome flow events (``ph: s/t/f``) with the
+``req_id`` as the flow id, so Perfetto draws arrows following one
+request across the engine, ``aqua:*`` and ``link:*`` tracks, and
+:meth:`Tracer.critical_path <repro.trace.Tracer.critical_path>` can
+reconstruct the chain programmatically.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.telemetry.attribution import LatencyAttributor
+from repro.telemetry.registry import Registry
+from repro.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.dma import Transfer
+    from repro.hardware.server import Server
+    from repro.serving.request import Request
+
+#: Histogram buckets for TTFT (sub-second matters) and RCT (minutes).
+_LATENCY_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+)
+
+
+class Telemetry:
+    """Per-run telemetry context shared by every instrumented subsystem.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment (provides the clock).
+    tracer:
+        Optional pre-existing tracer to record into; by default a fresh
+        one bound to ``env``'s clock.
+    """
+
+    def __init__(self, env, tracer: Optional[Tracer] = None) -> None:
+        self.env = env
+        self.tracer = tracer or Tracer(clock=lambda: env.now)
+        self.registry = Registry()
+        self.attribution = LatencyAttributor()
+        self._flow_started: set[int] = set()
+
+        r = self.registry
+        # -- engine family ------------------------------------------------
+        self.requests_submitted = r.counter(
+            "aqua_engine_requests_submitted_total",
+            "Requests submitted to an engine.", ["engine"])
+        self.requests_completed = r.counter(
+            "aqua_engine_requests_completed_total",
+            "Requests that generated their final token.", ["engine"])
+        self.tokens_generated = r.counter(
+            "aqua_engine_tokens_generated_total",
+            "Tokens generated.", ["engine"])
+        self.requeues = r.counter(
+            "aqua_engine_requeues_total",
+            "Requests re-queued after losing inference context.", ["engine"])
+        self.preemptions = r.counter(
+            "aqua_engine_preemptions_total",
+            "Sequences preempted for KV space.", ["engine"])
+        self.batch_occupancy = r.gauge(
+            "aqua_engine_batch_occupancy",
+            "Sequences in the last decode batch.", ["engine"])
+        self.ttft_seconds = r.histogram(
+            "aqua_engine_ttft_seconds",
+            "Time to first token.", ["engine"], buckets=_LATENCY_BUCKETS)
+        self.rct_seconds = r.histogram(
+            "aqua_engine_rct_seconds",
+            "Request completion time.", ["engine"], buckets=_LATENCY_BUCKETS)
+        # -- memory-pool family -------------------------------------------
+        self.pool_used = r.gauge(
+            "aqua_pool_used_bytes", "Bytes reserved in a memory pool.",
+            ["device"])
+        self.pool_capacity = r.gauge(
+            "aqua_pool_capacity_bytes", "Memory pool capacity.", ["device"])
+        self.pool_peak = r.gauge(
+            "aqua_pool_peak_bytes",
+            "High-water mark of pool usage.", ["device"])
+        self.pool_reservations = r.gauge(
+            "aqua_pool_reservations",
+            "Live named reservations in a pool.", ["device"])
+        # -- interconnect family ------------------------------------------
+        self.link_bytes = r.counter(
+            "aqua_link_bytes_total",
+            "Bytes moved over a channel (full payload per hop).", ["channel"])
+        self.link_transfers = r.counter(
+            "aqua_link_transfers_total",
+            "Transfers that traversed a channel.", ["channel"])
+        self.link_contention = r.counter(
+            "aqua_link_contention_seconds_total",
+            "Time transfers spent waiting for a channel grant.", ["channel"])
+        self.link_queue_depth = r.gauge(
+            "aqua_link_queue_depth",
+            "Transfers queued on a channel right now.", ["channel"])
+        # -- AQUA control/data plane --------------------------------------
+        self.tensor_allocations = r.counter(
+            "aqua_tensor_allocations_total",
+            "AQUA tensor placements by initial location.", ["location"])
+        self.tensor_migrations = r.counter(
+            "aqua_tensor_migrations_total",
+            "Completed tensor migrations by target.", ["target"])
+        self.migrations_queued = r.counter(
+            "aqua_migrations_queued_total",
+            "Migrations queued by the coordinator.", ["reason"])
+        self.offload_bytes = r.counter(
+            "aqua_offload_bytes_total",
+            "Bytes fetched/flushed through AQUA-LIB.", ["gpu", "op"])
+        self.transfer_retries = r.counter(
+            "aqua_transfer_retries_total",
+            "Transfer retries after DMA stalls.", ["gpu"])
+        self.lost_tensors = r.counter(
+            "aqua_lost_tensors_total",
+            "Tensors lost to endpoint GPU failures.", ["gpu"])
+        self.coordinator_requests = r.counter(
+            "aqua_coordinator_requests_total",
+            "Coordinator REST calls.", ["method", "path"])
+        # -- faults family -------------------------------------------------
+        self.faults = r.counter(
+            "aqua_faults_total",
+            "Fault injections by kind and phase.", ["kind", "phase"])
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_server(self, server: "Server") -> None:
+        """Instrument a server: DMA hooks plus live pool/link gauges."""
+        server.telemetry = self
+        for channel in server.interconnect.channels.values():
+            self.link_queue_depth.labels(channel=channel.name).set_function(
+                lambda ch=channel: len(ch.engine.queue)
+            )
+        for device in server.devices:
+            pool = getattr(device, "hbm", None)
+            if pool is None:
+                pool = device.pool
+            name = device.name
+            self.pool_used.labels(device=name).set_function(
+                lambda p=pool: p.used)
+            self.pool_capacity.labels(device=name).set_function(
+                lambda p=pool: p.capacity)
+            self.pool_peak.labels(device=name).set_function(
+                lambda p=pool: p.peak)
+            self.pool_reservations.labels(device=name).set_function(
+                lambda p=pool: len(p.reservations))
+
+    # ------------------------------------------------------------------
+    # Flow events (request-scoped causal tracing)
+    # ------------------------------------------------------------------
+    def flow(self, ctx: Optional[int], track: str,
+             time: Optional[float] = None, **args) -> None:
+        """Add one step of a request's flow chain on ``track``.
+
+        The first sighting of a trace ID emits the flow *start* (``s``),
+        later sightings emit *steps* (``t``); :meth:`flow_end` closes
+        the chain with ``f``.  ``ctx=None`` (telemetry disabled upstream
+        or an un-stamped code path) is a no-op.
+        """
+        if ctx is None:
+            return
+        if time is None:
+            time = self.env.now
+        if ctx in self._flow_started:
+            phase = "t"
+        else:
+            phase = "s"
+            self._flow_started.add(ctx)
+        self.tracer.add_flow("request", track, ctx, phase, time=time, **args)
+
+    def flow_end(self, ctx: Optional[int], track: str,
+                 time: Optional[float] = None, **args) -> None:
+        if ctx is None or ctx not in self._flow_started:
+            return
+        if time is None:
+            time = self.env.now
+        self.tracer.add_flow("request", track, ctx, "f", time=time, **args)
+        # A re-queued request that runs again starts a fresh chain.
+        self._flow_started.discard(ctx)
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def request_submitted(self, engine: str, request: "Request") -> None:
+        self.requests_submitted.labels(engine=engine).inc()
+        self.attribution.observe(request)
+
+    def token_generated(self, engine: str, request: "Request") -> None:
+        self.tokens_generated.labels(engine=engine).inc()
+        if request.done:
+            self.requests_completed.labels(engine=engine).inc()
+            if request.ttft is not None:
+                self.ttft_seconds.labels(engine=engine).observe(request.ttft)
+            self.rct_seconds.labels(engine=engine).observe(request.rct)
+            self.flow_end(request.req_id, engine, time=request.finish_time)
+
+    def request_requeued(self, engine: str) -> None:
+        self.requeues.labels(engine=engine).inc()
+
+    def preemption(self, engine: str) -> None:
+        self.preemptions.labels(engine=engine).inc()
+
+    def decode_batch(self, engine: str, size: int) -> None:
+        self.batch_occupancy.labels(engine=engine).set(size)
+
+    # ------------------------------------------------------------------
+    # DMA hook (called by Transfer.run on completion)
+    # ------------------------------------------------------------------
+    def record_transfer(self, transfer: "Transfer", channels) -> None:
+        contention = transfer.acquired_at - transfer.started_at
+        for channel in channels:
+            self.link_bytes.labels(channel=channel.name).inc(transfer.nbytes)
+            self.link_transfers.labels(channel=channel.name).inc()
+            if contention > 0:
+                self.link_contention.labels(channel=channel.name).inc(contention)
+        if transfer.ctx is not None:
+            self.attribution.note_contention(transfer.ctx, contention)
+            for channel in channels:
+                track = f"link:{channel.name}"
+                self.tracer.add_span(
+                    "dma", track, transfer.acquired_at, transfer.finished_at,
+                    request=transfer.ctx, nbytes=transfer.nbytes,
+                )
+                self.flow(transfer.ctx, track, time=transfer.acquired_at)
+
+    # ------------------------------------------------------------------
+    # Fault hook
+    # ------------------------------------------------------------------
+    def record_fault(self, kind: str, phase: str) -> None:
+        self.faults.labels(kind=kind, phase=phase).inc()
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+    def attribution_report(self) -> dict:
+        return self.attribution.report()
+
+    def prometheus_text(self) -> str:
+        return self.registry.to_prometheus_text()
+
+    def metrics_dict(self) -> dict:
+        return self.registry.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Ambient trace capture (the CLI's uniform --trace support)
+# ---------------------------------------------------------------------------
+#: Stack of tracers installed by :func:`capture_trace`.  Experiment
+#: builders that construct engines internally (the figure functions)
+#: attach :func:`active_capture_tracer` to any engine built without one,
+#: so ``aqua-repro figN --trace out.json`` works with no per-experiment
+#: plumbing.
+_CAPTURE: list[Tracer] = []
+
+
+def active_capture_tracer() -> Optional[Tracer]:
+    """The innermost :func:`capture_trace` tracer, if one is active."""
+    return _CAPTURE[-1] if _CAPTURE else None
+
+
+@contextmanager
+def capture_trace(path: Optional[str] = None,
+                  tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install an ambient tracer; export it to ``path`` on exit.
+
+    All engines/libs built by :func:`repro.experiments.harness.build_consumer_rig`
+    while the context is active record into the yielded tracer (unless
+    they were given their own).  The trace is written as Chrome
+    trace-event JSON when ``path`` is given, even if the body raises.
+    """
+    tracer = tracer or Tracer()
+    _CAPTURE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _CAPTURE.pop()
+        if path is not None:
+            tracer.export_json(path)

@@ -47,6 +47,28 @@ class Instant:
     args: dict = field(default_factory=dict)
 
 
+#: Ordering of flow phases at equal timestamps: start, step, finish.
+_FLOW_PHASE_ORDER = {"s": 0, "t": 1, "f": 2}
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One step of a flow chain (Chrome ``ph: s/t/f`` events).
+
+    Events sharing a ``flow_id`` are rendered by Perfetto as arrows
+    linking the slices that enclose them — the request-scoped causal
+    trace.  ``phase`` is ``"s"`` (start), ``"t"`` (step) or ``"f"``
+    (finish).
+    """
+
+    name: str
+    track: str
+    time: float
+    flow_id: int
+    phase: str
+    args: dict = field(default_factory=dict)
+
+
 class Tracer:
     """Collects spans and instants; exports chrome://tracing JSON.
 
@@ -61,6 +83,7 @@ class Tracer:
         self.clock = clock
         self.spans: list[Span] = []
         self.instants: list[Instant] = []
+        self.flows: list[FlowEvent] = []
         self._track_ids: dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -91,6 +114,26 @@ class Tracer:
         self.instants.append(instant)
         return instant
 
+    def add_flow(
+        self,
+        name: str,
+        track: str,
+        flow_id: int,
+        phase: str,
+        time: Optional[float] = None,
+        **args,
+    ) -> FlowEvent:
+        """Record one step of a flow chain (see :class:`FlowEvent`)."""
+        if phase not in _FLOW_PHASE_ORDER:
+            raise ValueError(f"flow phase must be s/t/f, got {phase!r}")
+        if time is None:
+            time = self._now()
+        flow = FlowEvent(
+            name=name, track=track, time=time, flow_id=flow_id, phase=phase, args=args
+        )
+        self.flows.append(flow)
+        return flow
+
     @contextmanager
     def span(self, name: str, track: str, **args) -> Iterator[None]:
         """Context manager recording a span around simulated work.
@@ -98,11 +141,21 @@ class Tracer:
         Note: only valid around code that advances the *simulation*
         clock synchronously from the caller's perspective (the body of
         an engine iteration driven by ``yield from``).
+
+        A body that raises still gets its span, annotated with
+        ``error=<exception type name>`` so faults stay visible in the
+        trace; the exception propagates unchanged.
         """
         start = self._now()
         try:
             yield
-        finally:
+        except BaseException as exc:
+            self.add_span(
+                name, track, start, self._now(),
+                error=type(exc).__name__, **args,
+            )
+            raise
+        else:
             self.add_span(name, track, start, self._now(), **args)
 
     # ------------------------------------------------------------------
@@ -138,6 +191,33 @@ class Tracer:
                 covered += hi - lo
                 cursor = hi
         return covered / (end - start)
+
+    def critical_path(self, flow_id: int) -> list[Span]:
+        """The chain of spans a flow passed through, in causal order.
+
+        For each flow event with ``flow_id`` (ordered by time, then
+        phase ``s`` < ``t`` < ``f``), find the *smallest* span on the
+        same track enclosing the event's timestamp — the innermost
+        activity at that step — and chain the unique spans.  This
+        reconstructs a request's journey across engine, AQUA and DMA
+        tracks, the textual equivalent of Perfetto's flow arrows.
+        """
+        events = sorted(
+            (f for f in self.flows if f.flow_id == flow_id),
+            key=lambda f: (f.time, _FLOW_PHASE_ORDER[f.phase]),
+        )
+        path: list[Span] = []
+        for event in events:
+            best: Optional[Span] = None
+            for span in self.spans:
+                if span.track != event.track:
+                    continue
+                if span.start <= event.time <= span.end:
+                    if best is None or span.duration < best.duration:
+                        best = span
+            if best is not None and (not path or path[-1] is not best):
+                path.append(best)
+        return path
 
     # ------------------------------------------------------------------
     # Export
@@ -179,6 +259,22 @@ class Tracer:
                     "args": instant.args,
                 }
             )
+        for flow in self.flows:
+            event = {
+                "ph": flow.phase,
+                "name": flow.name,
+                "cat": "flow",
+                "id": flow.flow_id,
+                "pid": 1,
+                "tid": self._track_id(flow.track),
+                "ts": flow.time * 1e6,
+                "args": flow.args,
+            }
+            if flow.phase == "f":
+                # Bind the finish to the enclosing slice (Perfetto
+                # otherwise attaches it to the *next* slice on the track).
+                event["bp"] = "e"
+            events.append(event)
         return events
 
     def _all_tracks(self) -> dict[str, int]:
@@ -186,6 +282,8 @@ class Tracer:
             self._track_id(span.track)
         for instant in self.instants:
             self._track_id(instant.track)
+        for flow in self.flows:
+            self._track_id(flow.track)
         return self._track_ids
 
     def export_json(self, path: str) -> None:
@@ -194,4 +292,4 @@ class Tracer:
             json.dump({"traceEvents": self.to_chrome_events()}, f)
 
     def __len__(self) -> int:
-        return len(self.spans) + len(self.instants)
+        return len(self.spans) + len(self.instants) + len(self.flows)

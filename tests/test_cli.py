@@ -80,3 +80,63 @@ def test_sweep_command(capsys):
     assert main(["sweep", "--rates", "1", "--count", "10"]) == 0
     out = capsys.readouterr().out
     assert "rct_penalty" in out
+
+
+def test_observe_command(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.prom"
+    report = tmp_path / "report.json"
+    assert (
+        main(
+            [
+                "observe",
+                "--duration", "20",
+                "--trace", str(trace),
+                "--metrics", str(metrics),
+                "--report", str(report),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Latency attribution" in out
+    for component in ("queueing", "prefill_compute", "decode_hbm", "offload_fetch"):
+        assert component in out
+
+    import json
+
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e.get("ph") in ("s", "t", "f") for e in events)
+
+    from repro.telemetry import parse_prometheus_text
+
+    samples = parse_prometheus_text(metrics.read_text())
+    assert "aqua_engine_tokens_generated_total" in samples
+
+    rep = json.loads(report.read_text())
+    assert rep["count"] >= 1
+
+
+def test_observe_command_no_faults(capsys):
+    assert main(["observe", "--duration", "10", "--no-faults"]) == 0
+    assert "dma-stall" not in capsys.readouterr().out
+
+
+def test_ambient_trace_flag_on_figure_command(tmp_path, capsys):
+    """Every figure command accepts --trace and writes a Chrome trace."""
+    trace = tmp_path / "fig07.json"
+    assert main(["fig07", "--duration", "10", "--trace", str(trace)]) == 0
+    assert "trace written to" in capsys.readouterr().out
+
+    import json
+
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e["ph"] == "X" for e in events)
+
+
+def test_trace_flag_registered_uniformly():
+    """The shared --trace option is present on every experiment command."""
+    parser = build_parser()
+    for name in ("fig01", "fig07", "fig13", "e2e", "sweep", "resilience", "observe"):
+        args = parser.parse_args([name, "--trace", "out.json"])
+        assert args.trace == "out.json"

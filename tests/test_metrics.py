@@ -92,6 +92,46 @@ def test_timeseries_window_sum():
     assert ts.window_sum(2, 5) == 3.0
 
 
+def test_timeseries_window_sum_half_open_boundaries():
+    ts = TimeSeries("x")
+    ts.append(1.0, 10.0)
+    ts.append(2.0, 20.0)
+    ts.append(3.0, 40.0)
+    assert ts.window_sum(1.0, 3.0) == 30.0  # start inclusive, end exclusive
+    assert ts.window_sum(3.0, 3.0) == 0.0   # empty window
+    assert ts.window_sum(0.0, 0.5) == 0.0   # before all samples
+    assert ts.window_sum(5.0, 9.0) == 0.0   # after all samples
+    assert ts.window_sum(0.0, 100.0) == 70.0
+    assert ts.window_sum(4.0, 1.0) == 0.0   # inverted window sums nothing
+
+
+def test_timeseries_window_sum_with_duplicate_times():
+    ts = TimeSeries("x")
+    ts.append(1.0, 1.0)
+    ts.append(2.0, 2.0)
+    ts.append(2.0, 3.0)  # equal timestamps are legal (ordering is >=)
+    ts.append(2.0, 4.0)
+    ts.append(3.0, 8.0)
+    assert ts.window_sum(2.0, 3.0) == 9.0   # all three samples at t=2
+    assert ts.window_sum(2.0, 2.0) == 0.0
+
+
+@given(
+    times=st.lists(st.floats(0, 100, allow_nan=False), min_size=0, max_size=40),
+    start=st.floats(-10, 110, allow_nan=False),
+    width=st.floats(0, 50, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_timeseries_window_sum_matches_linear_scan(times, start, width):
+    """The bisect implementation agrees with the obvious linear scan."""
+    ts = TimeSeries("x")
+    for i, t in enumerate(sorted(times)):
+        ts.append(t, float(i))
+    end = start + width
+    expected = sum(v for t, v in zip(ts.times, ts.values) if start <= t < end)
+    assert ts.window_sum(start, end) == expected
+
+
 def finished_request(arrival, first, finish, tokens=10):
     r = Request(arrival_time=arrival, prompt_tokens=5, max_new_tokens=tokens)
     r.first_token_time = first

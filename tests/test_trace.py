@@ -66,6 +66,37 @@ def test_utilization_clips_to_window():
     assert tracer.utilization("t", 0.0, 10.0) == pytest.approx(1.0)
 
 
+def test_utilization_nested_and_partially_clipped_spans():
+    tracer = Tracer()
+    tracer.add_span("outer", "t", 1.0, 9.0)
+    tracer.add_span("inner", "t", 2.0, 4.0)   # fully nested: no extra coverage
+    tracer.add_span("tail", "t", 8.0, 15.0)   # straddles the window edge
+    tracer.add_span("elsewhere", "u", 0.0, 100.0)  # other track: ignored
+    # Covered within [0, 10): [1, 9] ∪ [8, 10) = 9 of 10 seconds.
+    assert tracer.utilization("t", 0.0, 10.0) == pytest.approx(0.9)
+    # A window entirely inside one span is fully utilized.
+    assert tracer.utilization("t", 2.0, 3.0) == pytest.approx(1.0)
+    # A window beyond every span is idle.
+    assert tracer.utilization("t", 20.0, 30.0) == 0.0
+
+
+def test_span_context_manager_annotates_errors():
+    """A body that raises still gets its span, tagged with the error type."""
+    now = [0.0]
+    tracer = Tracer(clock=lambda: now[0])
+    with pytest.raises(KeyError):
+        with tracer.span("step", "engine", batch=2):
+            now[0] = 1.5
+            raise KeyError("boom")
+    (span,) = tracer.spans
+    assert span.start == 0.0 and span.end == 1.5
+    assert span.args == {"error": "KeyError", "batch": 2}
+    # The non-raising path stays unannotated.
+    with tracer.span("ok", "engine"):
+        now[0] = 2.0
+    assert "error" not in tracer.spans[-1].args
+
+
 def test_chrome_export_roundtrip(tmp_path):
     tracer = Tracer()
     tracer.add_span("work", "engine", 1.0, 2.0, batch=3)
@@ -119,6 +150,87 @@ def test_chrome_export_empty_tracer(tmp_path):
     path = tmp_path / "empty.json"
     Tracer().export_json(str(path))
     assert json.loads(path.read_text()) == {"traceEvents": []}
+
+
+def test_track_ids_stable_across_repeated_exports():
+    """Exporting twice (or adding events between exports) must never
+    re-number existing tracks — tids are how Perfetto correlates."""
+    tracer = Tracer()
+    tracer.add_span("a", "engine", 0.0, 1.0)
+    tracer.add_span("b", "link", 0.0, 1.0)
+    first = {
+        e["args"]["name"]: e["tid"]
+        for e in tracer.to_chrome_events()
+        if e["ph"] == "M"
+    }
+    tracer.add_span("c", "aqua", 1.0, 2.0)  # new track appears later
+    second = {
+        e["args"]["name"]: e["tid"]
+        for e in tracer.to_chrome_events()
+        if e["ph"] == "M"
+    }
+    assert second["engine"] == first["engine"]
+    assert second["link"] == first["link"]
+    assert second["aqua"] not in (first["engine"], first["link"])
+    # And a third export is byte-identical to the second.
+    assert tracer.to_chrome_events() == tracer.to_chrome_events()
+
+
+# ---------------------------------------------------------------------------
+# Flow events and the critical path
+# ---------------------------------------------------------------------------
+def test_add_flow_validates_phase():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        tracer.add_flow("request", "engine", 1, "x", time=0.0)
+
+
+def test_flow_export_format(tmp_path):
+    tracer = Tracer()
+    tracer.add_flow("request", "engine", 7, "s", time=1.0)
+    tracer.add_flow("request", "link", 7, "t", time=2.0, nbytes=10)
+    tracer.add_flow("request", "engine", 7, "f", time=3.0)
+    path = tmp_path / "flows.json"
+    tracer.export_json(str(path))
+    events = json.loads(path.read_text())["traceEvents"]
+    flows = [e for e in events if e["ph"] in ("s", "t", "f")]
+    assert [f["ph"] for f in flows] == ["s", "t", "f"]
+    assert all(f["cat"] == "flow" and f["id"] == 7 for f in flows)
+    assert flows[1]["ts"] == 2.0e6 and flows[1]["args"] == {"nbytes": 10}
+    # Only the finish event carries the enclosing-slice binding point.
+    assert flows[2]["bp"] == "e"
+    assert "bp" not in flows[0] and "bp" not in flows[1]
+    assert len(tracer) == 3  # flows count toward the tracer's length
+
+
+def test_critical_path_chains_innermost_spans():
+    tracer = Tracer()
+    tracer.add_span("iteration", "engine", 0.0, 10.0)   # outer envelope
+    tracer.add_span("prefill", "engine", 1.0, 3.0)      # innermost at t=2
+    tracer.add_span("dma", "link", 4.0, 6.0)
+    tracer.add_span("decode", "engine", 7.0, 9.0)
+    tracer.add_flow("request", "engine", 42, "s", time=2.0)
+    tracer.add_flow("request", "link", 42, "t", time=5.0)
+    tracer.add_flow("request", "engine", 42, "f", time=8.0)
+    # An unrelated flow must not leak into the path.
+    tracer.add_flow("request", "engine", 99, "s", time=2.5)
+
+    path = tracer.critical_path(42)
+    assert [(s.name, s.track) for s in path] == [
+        ("prefill", "engine"), ("dma", "link"), ("decode", "engine")
+    ]
+    assert tracer.critical_path(12345) == []
+
+
+def test_critical_path_orders_same_time_events_by_phase():
+    tracer = Tracer()
+    tracer.add_span("handoff", "a", 0.0, 2.0)
+    tracer.add_span("pickup", "b", 2.0, 4.0)
+    # Both events at t=2.0: the start (s) must come before the step (t).
+    tracer.add_flow("request", "b", 1, "t", time=2.0)
+    tracer.add_flow("request", "a", 1, "s", time=2.0)
+    path = tracer.critical_path(1)
+    assert [s.name for s in path] == ["handoff", "pickup"]
 
 
 # ---------------------------------------------------------------------------
