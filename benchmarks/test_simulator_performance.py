@@ -2,66 +2,36 @@
 
 The reason this reproduction can regenerate every paper figure on every
 run is raw kernel throughput: hundreds of thousands of events per
-wall-clock second.  This benchmark tracks that number so a kernel
-regression (or an accidental O(n^2) in an engine loop) shows up as a
-slowdown here before it bloats the whole suite.
+wall-clock second.  The scenarios themselves live in
+:mod:`repro.benchmarks` (shared with the ``aqua-repro bench`` CLI and
+its persistent ``BENCH_<n>.json`` artifacts — see
+``docs/performance.md``); this test runs them under pytest-benchmark so
+a kernel regression (or an accidental O(n^2) in an engine loop) shows
+up here before it bloats the whole suite.
 """
 
-import time
-
 from benchmarks._util import emit, run_once
+from repro.benchmarks import run_bench, validate_bench
 from repro.experiments.report import format_table
-from repro.hardware import Server
-from repro.models import MISTRAL_7B
-from repro.serving import Request, VLLMEngine
-from repro.sim import Environment
-from repro.workloads import sharegpt_requests
-from repro.workloads.arrivals import submit_all
-
-
-def _kernel_events_per_second(n_processes=200, hops=200) -> float:
-    env = Environment()
-
-    def worker(env, i):
-        for step in range(hops):
-            yield env.timeout(0.001 * ((i + step) % 7 + 1))
-
-    for i in range(n_processes):
-        env.process(worker(env, i))
-    started = time.perf_counter()
-    env.run()
-    elapsed = time.perf_counter() - started
-    return (n_processes * hops) / elapsed
-
-
-def _engine_sim_seconds_per_wall_second() -> float:
-    env = Environment()
-    server = Server(env, n_gpus=1)
-    engine = VLLMEngine(server.gpus[0], server, MISTRAL_7B)
-    engine.start()
-    submit_all(env, engine, sharegpt_requests(rate=5.0, count=200, seed=0))
-    started = time.perf_counter()
-    env.run(until=120)
-    elapsed = time.perf_counter() - started
-    return 120 / elapsed
 
 
 def test_simulator_performance(benchmark):
-    result = run_once(
-        benchmark,
-        lambda: {
-            "kernel_events_per_s": _kernel_events_per_second(),
-            "engine_speedup_vs_realtime": _engine_sim_seconds_per_wall_second(),
-        },
-    )
+    doc = run_once(benchmark, lambda: run_bench(["kernel", "vllm_e2e"]))
+    validate_bench(doc)
+    kernel = doc["scenarios"]["kernel"]
+    engine = doc["scenarios"]["vllm_e2e"]
     emit(
         format_table(
             ["metric", "value"],
-            [[k, f"{v:,.0f}"] for k, v in result.items()],
+            [
+                ["kernel_events_per_s", f"{kernel['events_per_s']:,.0f}"],
+                ["engine_speedup_vs_realtime", f"{engine['sim_s_per_wall_s']:,.0f}"],
+                ["peak_rss_mib", f"{doc['peak_rss_bytes'] / 2**20:,.0f}"],
+            ],
             title="Simulator throughput",
         )
     )
     # The kernel processes events fast...
-    assert result["kernel_events_per_s"] > 50_000
+    assert kernel["events_per_s"] > 50_000
     # ...and a loaded serving engine simulates much faster than realtime.
-    assert result["engine_speedup_vs_realtime"] > 20
+    assert engine["sim_s_per_wall_s"] > 20

@@ -1,0 +1,35 @@
+"""Persistent benchmark harness for the simulator (``aqua-repro bench``).
+
+See :mod:`repro.benchmarks.scenarios` for what is measured and
+:mod:`repro.benchmarks.runner` for the BENCH JSON artifact format and
+the regression gate.  ``docs/performance.md`` documents the workflow.
+"""
+
+from repro.benchmarks.runner import (
+    BENCH_INDEX,
+    PRIMARY_METRIC,
+    RECORDED_BASELINE,
+    SCHEMA,
+    compare_bench,
+    load_bench,
+    peak_rss_bytes,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+from repro.benchmarks.scenarios import SCENARIOS, kernel_event_count
+
+__all__ = [
+    "BENCH_INDEX",
+    "PRIMARY_METRIC",
+    "RECORDED_BASELINE",
+    "SCENARIOS",
+    "SCHEMA",
+    "compare_bench",
+    "kernel_event_count",
+    "load_bench",
+    "peak_rss_bytes",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+]

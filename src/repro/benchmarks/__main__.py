@@ -1,0 +1,7 @@
+"""``python -m repro.benchmarks`` == ``aqua-repro bench``."""
+
+import sys
+
+from repro.benchmarks.runner import main
+
+sys.exit(main())

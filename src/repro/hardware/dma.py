@@ -198,18 +198,21 @@ class Transfer:
         self._check_health(route)
         # Deadlock-free acquisition: all requests issued together, granted
         # in each channel's FIFO order, and we proceed once all are held.
-        ordered = sorted(route.channels, key=lambda ch: ch.name)
+        ordered = route.sorted_channels
         requests = [ch.engine.request() for ch in ordered]
+        endpoints = self._endpoints()
         try:
             yield AllOf(self.env, requests)
             self.acquired_at = self.env.now
             duration = self.wire_time(route)
-            for gpu in self._endpoints():
+            for gpu in endpoints:
                 gpu.active_copies += 1
             try:
-                yield self.env.timeout(duration)
+                # Bare-delay yield: same ordering as env.timeout(duration)
+                # without a Timeout allocation per copy.
+                yield duration
             finally:
-                for gpu in self._endpoints():
+                for gpu in endpoints:
                     gpu.active_copies -= 1
             # Every hop carries the full payload: a 2-hop NVSwitch route
             # moves the bytes over the egress *and* the ingress port, so

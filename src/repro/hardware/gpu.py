@@ -166,7 +166,9 @@ class GPU:
             yield req
             dilated = duration * self.dilation()
             self.busy_time += dilated
-            yield self.env.timeout(dilated)
+            # Bare-delay yield: identical ordering to env.timeout(dilated)
+            # without allocating a Timeout per compute kernel.
+            yield dilated
 
     def __repr__(self) -> str:
         return f"<GPU {self.name} free={self.free_hbm / 2**30:.1f}GiB>"

@@ -21,6 +21,7 @@ Host DRAM is reachable from every GPU over that GPU's PCIe channel pair.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import TYPE_CHECKING, Hashable
 
 from repro.hardware.specs import LinkSpec
@@ -113,6 +114,16 @@ class Route:
 
     channels: list[Channel]
 
+    @cached_property
+    def sorted_channels(self) -> list[Channel]:
+        """Channels in global acquisition order (by name).
+
+        Transfers grab every hop in this deterministic order so
+        overlapping routes can never deadlock; cached because channel
+        membership of a route never changes after construction.
+        """
+        return sorted(self.channels, key=lambda ch: ch.name)
+
     @property
     def latency(self) -> float:
         """Total setup latency: the per-hop latencies are paid in series."""
@@ -165,6 +176,10 @@ class Interconnect:
         self.env = env
         self.channels: dict[str, Channel] = {}
         self._routes: dict[tuple[Hashable, Hashable], list[str]] = {}
+        #: Route objects are immutable views over mutable channels, so
+        #: they can be cached per endpoint pair instead of rebuilt for
+        #: every transfer.  Invalidated by :meth:`add_route`.
+        self._route_cache: dict[tuple[Hashable, Hashable], Route] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -183,6 +198,7 @@ class Interconnect:
             if name not in self.channels:
                 raise KeyError(f"unknown channel {name!r}")
         self._routes[(src, dst)] = list(channel_names)
+        self._route_cache.pop((src, dst), None)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -195,13 +211,20 @@ class Interconnect:
         RoutingError
             If the two devices are not connected.
         """
+        key = (src, dst)
+        route = self._route_cache.get(key)
+        if route is not None:
+            return route
         if src is dst or src == dst:
             raise RoutingError(f"source and destination are the same device: {src!r}")
         try:
-            names = self._routes[(src, dst)]
+            names = self._routes[key]
         except KeyError:
             raise RoutingError(f"no route from {src!r} to {dst!r}") from None
-        return Route([self.channels[name] for name in names])
+        route = self._route_cache[key] = Route(
+            [self.channels[name] for name in names]
+        )
+        return route
 
     def connected(self, src: Hashable, dst: Hashable) -> bool:
         """Whether a route exists from ``src`` to ``dst``."""

@@ -14,6 +14,7 @@ All numbers come from public datasheets and the paper's own measurements:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 GiB = 1024**3
 GB = 10**9
@@ -53,12 +54,15 @@ class GPUSpec:
     kernel_overhead: float = 30e-6
     copy_interference: float = 0.03
 
-    @property
+    # cached_property works on a frozen dataclass (it writes straight to
+    # ``__dict__``, bypassing the frozen ``__setattr__``); these are read
+    # on every roofline evaluation, i.e. every simulated iteration.
+    @cached_property
     def effective_flops(self) -> float:
         """Achievable FLOP/s for dense inference kernels."""
         return self.fp16_flops * self.flops_efficiency
 
-    @property
+    @cached_property
     def effective_hbm_bandwidth(self) -> float:
         """Achievable HBM bandwidth (real kernels reach ~80% of peak)."""
         return self.hbm_bandwidth * 0.8

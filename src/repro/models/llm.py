@@ -12,6 +12,7 @@ number of concurrent sequences is limited by KV-cache space, not FLOPs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 
 from repro.hardware.specs import GPUSpec
 
@@ -85,16 +86,19 @@ class LLMSpec:
     # ------------------------------------------------------------------
     # Memory footprint
     # ------------------------------------------------------------------
-    @property
+    # cached_property on a frozen dataclass writes straight to __dict__,
+    # bypassing the frozen __setattr__; these are read on every simulated
+    # iteration and allocator decision.
+    @cached_property
     def hidden_dim(self) -> int:
         return self.n_heads * self.head_dim
 
-    @property
+    @cached_property
     def weight_bytes(self) -> int:
         """Bytes of HBM consumed by the model weights."""
         return int(self.n_params * self.dtype_bytes)
 
-    @property
+    @cached_property
     def kv_bytes_per_token(self) -> int:
         """Bytes of KV cache for one token across all layers (K and V)."""
         return 2 * self.n_layers * self.n_kv_heads * self.head_dim * self.dtype_bytes
@@ -143,13 +147,7 @@ class LLMSpec:
             raise ValueError(f"negative token count {n_tokens}")
         if n_tokens == 0:
             return 0.0
-        linear_flops = 2.0 * self.n_active_params * n_tokens
-        # Attention score/context matmuls grow quadratically with length.
-        attn_flops = 4.0 * self.n_layers * self.hidden_dim * float(n_tokens) ** 2
-        compute = (linear_flops + attn_flops) / gpu.effective_flops
-        # Prefill must still stream the weights at least once.
-        memory = self.weight_bytes / gpu.effective_hbm_bandwidth
-        return max(compute, memory) + self.n_layers * gpu.kernel_overhead
+        return _prefill_time(self, gpu, n_tokens)
 
     def decode_step_time(
         self, gpu: GPUSpec, batch_size: int, context_tokens: int
@@ -168,11 +166,11 @@ class LLMSpec:
             raise ValueError("batch_size and context_tokens must be >= 0")
         if batch_size == 0:
             return 0.0
-        weight_read = self.weight_bytes * self.weight_read_fraction(batch_size)
-        bytes_read = weight_read + self.kv_bytes(context_tokens)
-        memory = bytes_read / gpu.effective_hbm_bandwidth
-        compute = 2.0 * self.n_active_params * batch_size / gpu.effective_flops
-        return max(memory, compute) + self.n_layers * gpu.kernel_overhead
+        weight_read, compute, overhead = _decode_coeffs(self, gpu, batch_size)
+        memory = (
+            weight_read + self.kv_bytes_per_token * context_tokens
+        ) / gpu.effective_hbm_bandwidth
+        return max(memory, compute) + overhead
 
     def decode_throughput(
         self, gpu: GPUSpec, batch_size: int, avg_context_tokens: float
@@ -195,6 +193,39 @@ class LLMSpec:
 
     def __str__(self) -> str:
         return self.name
+
+
+# ---------------------------------------------------------------------------
+# Roofline caches
+# ---------------------------------------------------------------------------
+# Engines evaluate the rooflines every simulated iteration, but the
+# inputs repeat heavily: a (model, GPU, batch) triple pins the decode
+# coefficients, and prompt lengths come from finite traces.  Specs are
+# frozen dataclasses, hence hashable.  The expressions below must stay
+# term-for-term identical to the pre-cache formulas — the determinism
+# golden digest folds these floats via repr().
+
+
+@lru_cache(maxsize=4096)
+def _decode_coeffs(
+    spec: LLMSpec, gpu: GPUSpec, batch_size: int
+) -> tuple[float, float, float]:
+    """(weight_read bytes, compute seconds, overhead seconds) for decode."""
+    weight_read = spec.weight_bytes * spec.weight_read_fraction(batch_size)
+    compute = 2.0 * spec.n_active_params * batch_size / gpu.effective_flops
+    overhead = spec.n_layers * gpu.kernel_overhead
+    return weight_read, compute, overhead
+
+
+@lru_cache(maxsize=4096)
+def _prefill_time(spec: LLMSpec, gpu: GPUSpec, n_tokens: int) -> float:
+    linear_flops = 2.0 * spec.n_active_params * n_tokens
+    # Attention score/context matmuls grow quadratically with length.
+    attn_flops = 4.0 * spec.n_layers * spec.hidden_dim * float(n_tokens) ** 2
+    compute = (linear_flops + attn_flops) / gpu.effective_flops
+    # Prefill must still stream the weights at least once.
+    memory = spec.weight_bytes / gpu.effective_hbm_bandwidth
+    return max(compute, memory) + spec.n_layers * gpu.kernel_overhead
 
 
 # ---------------------------------------------------------------------------

@@ -278,7 +278,8 @@ class CFSEngine(LLMEngineBase):
             if not (self.running or self.swapped or self.waiting):
                 yield from self._wait_for_arrival()
                 self.iteration += 1
-                yield from self.maybe_producer_tick()
+                if self.aqua_lib is not None and self.iteration % self.inform_every == 0:
+                    yield from self.producer_tick()
                 continue
             active = self._select_active()
             if not active:
@@ -292,4 +293,5 @@ class CFSEngine(LLMEngineBase):
             self.iteration += 1
             if self.aqua_lib is not None and self.iteration % self.respond_every == 0:
                 yield from self.aqua_lib.respond()
-            yield from self.maybe_producer_tick()
+            if self.aqua_lib is not None and self.iteration % self.inform_every == 0:
+                yield from self.producer_tick()

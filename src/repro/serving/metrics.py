@@ -38,7 +38,7 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
 
-@dataclass
+@dataclass(slots=True)
 class TimeSeries:
     """A named sequence of (time, value) samples."""
 
@@ -89,7 +89,10 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def record_token(self, now: float, n: int = 1) -> None:
         self.tokens_generated += n
-        self.token_times.extend([now] * n)
+        if n == 1:  # the per-decode-step fast path: no throwaway list
+            self.token_times.append(now)
+        else:
+            self.token_times.extend([now] * n)
 
     def record_completion(self, request: Request) -> None:
         self.completed.append(request)
@@ -104,7 +107,10 @@ class MetricsCollector:
         return len(self.requeue_times)
 
     def sample(self, series: str, time: float, value: float) -> None:
-        self.series.setdefault(series, TimeSeries(series)).append(time, value)
+        ts = self.series.get(series)
+        if ts is None:  # setdefault would build a TimeSeries per call
+            ts = self.series[series] = TimeSeries(series)
+        ts.append(time, value)
 
     # ------------------------------------------------------------------
     @property

@@ -258,7 +258,8 @@ class VLLMEngine(LLMEngineBase):
                 else:
                     yield from self._wait_for_arrival()
                 self.iteration += 1
-                yield from self.maybe_producer_tick()
+                if self.aqua_lib is not None and self.iteration % self.inform_every == 0:
+                    yield from self.producer_tick()
                 if self.sample_every and self.iteration % self.sample_every == 0:
                     self.sample_memory()
                 continue
@@ -276,6 +277,7 @@ class VLLMEngine(LLMEngineBase):
             else:
                 yield from self._wait_for_arrival()
             self.iteration += 1
-            yield from self.maybe_producer_tick()
+            if self.aqua_lib is not None and self.iteration % self.inform_every == 0:
+                yield from self.producer_tick()
             if self.sample_every and self.iteration % self.sample_every == 0:
                 self.sample_memory()

@@ -4,10 +4,31 @@ Events are one-shot synchronisation objects.  A process waits on an event
 by yielding it; when the event is *triggered* (succeeded or failed) the
 environment resumes every waiting process with the event's value (or
 raises its exception inside the process).
+
+Performance notes
+-----------------
+This module is the hottest code in the repository: every simulated DMA
+transfer, decode iteration and retry timer allocates events here, and
+benchmarks (``aqua-repro bench``, scenario ``kernel``) retire hundreds
+of thousands of them per wall-clock second.  Three deliberate choices
+keep it fast, locked down by ``tests/test_determinism_golden.py`` and
+``tests/test_sim_ordering.py``:
+
+* every event class declares ``__slots__`` (no per-instance dict);
+* :class:`Timeout` — the single most-allocated type — initialises its
+  slots directly and pushes itself onto the environment's heap inline
+  instead of chaining ``Event.__init__`` + ``Environment._schedule``;
+* :meth:`Process._resume` keeps the generator trampoline flat, with the
+  pending-target wait as the first branch.
+
+The inlined scheduling writes ``env._eid``/``env._queue`` directly; the
+entry layout is owned by :mod:`repro.sim.core` (see ``_SEQ_STRIDE``
+there) and must stay in sync.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,6 +56,15 @@ PENDING = "pending"
 TRIGGERED = "triggered"  # scheduled, callbacks not yet run
 PROCESSED = "processed"  # callbacks have run
 
+#: NORMAL-priority bias for inlined heap pushes; must equal
+#: ``core.NORMAL * core._SEQ_STRIDE``.
+_NORMAL_SEQ = 1 << 52
+
+#: Sentinel stored in ``Process._target`` while the process sleeps on a
+#: bare-delay yield (``yield 0.004``).  Such sleeps have no Timeout
+#: object to detach a callback from, so they are not interruptible.
+_BARE_SLEEP = object()
+
 
 class Event:
     """A one-shot occurrence that processes can wait for.
@@ -45,15 +75,17 @@ class Event:
         The environment the event belongs to.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: list[Callable[["Event"], None]] | None = []
         self._value: Any = None
         self._ok: bool | None = None
         self._state = PENDING
-        #: Whether a failure was delivered to at least one waiter.  Used to
-        #: emulate "unhandled failure" detection: a failed event nobody
-        #: waits on is re-raised by :meth:`Environment.step`.
+        # Whether a failure was delivered to at least one waiter.  Used to
+        # emulate "unhandled failure" detection: a failed event nobody
+        # waits on is re-raised by the environment's event loop.
         self._defused = False
 
     # ------------------------------------------------------------------
@@ -93,7 +125,9 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.env._schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, _NORMAL_SEQ + eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -139,28 +173,74 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Flat initialisation: a Timeout is born triggered, so skip
+        # Event.__init__ and push straight onto the schedule.  ``_defused``
+        # is deliberately left unset: it is only ever read behind an
+        # ``event._ok`` check, and a Timeout's ``_ok`` is always True.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._state = TRIGGERED
-        env._schedule(self, delay=delay)
+        self.delay = delay
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, _NORMAL_SEQ + eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
 
 
+def _timeout_factory(env: "Environment") -> Callable[..., Timeout]:
+    """Build the ``env.timeout`` fast path.
+
+    Must stay store-for-store identical to :meth:`Timeout.__init__`
+    (which remains the path for direct ``Timeout(env, ...)``
+    construction): a closure over the environment's queue skips the
+    ``partial`` → ``type.__call__`` → ``__init__`` dispatch chain,
+    which is one Python frame and two C calls per simulated delay.
+    """
+    queue = env._queue  # bound once; Environment never rebinds it
+    tnew = Timeout.__new__
+    cls = Timeout
+    push = heappush
+    nseq = _NORMAL_SEQ
+    triggered = TRIGGERED
+
+    def timeout(delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        t = tnew(cls)
+        t.env = env
+        t.callbacks = []
+        t._value = value
+        t._ok = True
+        t._state = triggered
+        t.delay = delay
+        env._eid = eid = env._eid + 1
+        push(queue, (env._now + delay, nseq + eid, t))
+        return t
+
+    return timeout
+
+
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
-        self.callbacks = [process._resume]
+        self.env = env
+        self.callbacks = [process._resume_cb]
+        self._value = None
         self._ok = True
         self._state = TRIGGERED
+        self._defused = False
         env._schedule(self, priority=0)
 
 
@@ -172,11 +252,18 @@ class Process(Event):
     with the exception).
     """
 
+    __slots__ = ("_generator", "_target", "_resume_cb", "_send")
+
     def __init__(self, env: "Environment", generator: Generator[Any, Any, Any]) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        # Bind once per process, not once per yield: registering a wait
+        # is a list append and advancing the generator is a plain call,
+        # with no method-object allocation on the hot path.
+        self._resume_cb = self._resume
+        self._send = generator.send
         self._target: Event | None = Initialize(env, self)
 
     @property
@@ -186,8 +273,13 @@ class Process(Event):
 
     @property
     def target(self) -> Event | None:
-        """The event this process is currently waiting for."""
-        return self._target
+        """The event this process is currently waiting for.
+
+        ``None`` while the process is running, finished, or sleeping on
+        a bare-delay yield (which has no event object).
+        """
+        target = self._target
+        return None if target is _BARE_SLEEP else target
 
     def interrupt(self, cause: Any = None) -> None:
         """Raise an :class:`Interrupt` inside the process.
@@ -201,6 +293,11 @@ class Process(Event):
             raise SimulationError("cannot interrupt a finished process")
         if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
+        if self._target is _BARE_SLEEP:
+            raise SimulationError(
+                "cannot interrupt a process sleeping on a bare-delay yield; "
+                "use `yield env.timeout(delay)` in interruptible processes"
+            )
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
@@ -218,18 +315,20 @@ class Process(Event):
             return
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        send = self._send
         while True:
             if event._ok:
                 try:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 except StopIteration as stop:
                     self._finish(ok=True, value=stop.value)
                     break
@@ -244,34 +343,56 @@ class Process(Event):
                     self._finish(ok=True, value=stop.value)
                     break
                 except BaseException as exc:
-                    if exc is event._value:
-                        # The process did not handle the failure: it simply
-                        # propagated.  Keep the original traceback.
-                        self._finish(ok=False, value=exc)
-                        break
+                    # When the process did not handle the failure (exc is
+                    # event._value) it simply propagated; either way the
+                    # process fails with the exception, original traceback
+                    # preserved.
                     self._finish(ok=False, value=exc)
                     break
 
-            if not isinstance(target, Event):
-                exc = SimulationError(
-                    f"process yielded a non-event: {target!r}"
+            if target.__class__ is float:
+                # Bare-delay sleep: ``yield 0.004`` schedules this
+                # process's resume directly — no Timeout object, no
+                # callbacks list, no per-hop allocations beyond the heap
+                # entry.  Ordering is identical to ``yield
+                # env.timeout(0.004)``: same timestamp, same NORMAL
+                # priority, same insertion-counter tie-break.
+                if target < 0:
+                    exc = ValueError(f"negative delay {target}")
+                    event = Event(env)
+                    event._ok = False
+                    event._value = exc
+                    event._state = TRIGGERED
+                    continue
+                env._eid = eid = env._eid + 1
+                heappush(
+                    env._queue, (env._now + target, _NORMAL_SEQ + eid, self._resume_cb)
                 )
-                event = Event(self.env)
+                self._target = _BARE_SLEEP
+                break
+            try:
+                callbacks = target.callbacks
+                target_env = target.env
+            except AttributeError:
+                exc = SimulationError(f"process yielded a non-event: {target!r}")
+                event = Event(env)
                 event._ok = False
                 event._value = exc
                 event._state = TRIGGERED
                 continue
-            if target.env is not self.env:
-                raise SimulationError("cannot wait on an event from another environment")
-            if target.callbacks is not None:
+            if target_env is not env:
+                raise SimulationError(
+                    "cannot wait on an event from another environment"
+                )
+            if callbacks is not None:
                 # Target not yet processed: wait for it.
-                target.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 self._target = target
                 break
             # Target already processed: continue immediately with its state.
             event = target
 
-        self.env._active_process = None
+        env._active_process = None
 
     def _finish(self, ok: bool, value: Any) -> None:
         self._target = None
@@ -288,8 +409,22 @@ class Process(Event):
         return f"<Process({name}) state={self._state}>"
 
 
+#: Shared immutable "succeeded with None" event handed to a process
+#: resumed from a bare-delay sleep.  Never mutated; every reader only
+#: inspects ``_ok`` / ``_value``.
+_OK_NONE = Event.__new__(Event)
+_OK_NONE.env = None  # type: ignore[assignment]
+_OK_NONE.callbacks = None
+_OK_NONE._value = None
+_OK_NONE._ok = True
+_OK_NONE._state = PROCESSED
+_OK_NONE._defused = True
+
+
 class Condition(Event):
     """Base for events composed of several sub-events."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -339,12 +474,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Succeeds once *all* sub-events have succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, lambda events, count: count >= len(events), events)
 
 
 class AnyOf(Condition):
     """Succeeds once *any* sub-event has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, lambda events, count: count >= 1, events)

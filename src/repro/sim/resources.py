@@ -88,8 +88,16 @@ class Resource:
             self.users.append(request)
             request.succeed()
         else:
-            self.queue.append(request)
-            self.queue.sort(key=self._sort_key)
+            queue = self.queue
+            if queue and request.priority < queue[-1].priority:
+                # Out-of-order priority: re-sort (stable, so FIFO ties
+                # are preserved).  Equal/default priorities — the common
+                # case for DMA channels — append in FIFO position
+                # already and skip the sort entirely.
+                queue.append(request)
+                queue.sort(key=self._sort_key)
+            else:
+                queue.append(request)
 
     def _cancel(self, request: Request) -> None:
         try:

@@ -1,0 +1,102 @@
+"""Determinism lockdown for the simulation-kernel fast path.
+
+The kernel's inner loop was rewritten for speed (PR 4); these tests pin
+its *behaviour* to the pre-optimisation kernel, bit for bit.  The golden
+value below is the conservation-audit SHA-256 digest of a fixed seeded
+scenario, captured on the unoptimised kernel **before** the fast path
+landed.  Any change to event ordering, tie-breaking, float arithmetic in
+the roofline model, or transfer scheduling shows up here as a digest
+mismatch — "tests pass" is not enough, the event stream itself must be
+identical.
+
+The scenario is the Figure 7/10 offloading rig: a FlexGen long-prompt
+consumer backed by an idle LLM producer, driven by the deterministic
+long-prompt trace.  It exercises every hot path the fast-path PR
+touched: the event loop, DMA channel scheduling, engine iteration
+loops, TimeSeries appends and the roofline math.
+"""
+
+from repro.experiments.harness import build_consumer_rig
+from repro.models import LLAMA2_13B, OPT_30B
+from repro.workloads.arrivals import submit_all
+from repro.workloads.longprompt import long_prompt_requests
+from repro.workloads.sharegpt import sharegpt_requests
+
+#: SHA-256 conservation-audit digest of the scenario below, captured on
+#: the pre-optimisation kernel (commit 43b88d4).  Do not update this
+#: value to make a kernel change pass — a mismatch means the change
+#: altered simulation behaviour, which is exactly what this test exists
+#: to catch.  (If behaviour must change for a correctness fix, record
+#: the old and new digests in the commit message.)
+GOLDEN_DIGEST = "aea264f10e1ea0ab8fd45cebe675e0da3e5be2fa7d67274d8adc7f4d47530b9d"
+
+#: Simulated horizon: long enough to cover prefill, offload transfers,
+#: fetches and several completed requests; short enough for tier-1.
+DURATION = 30.0
+
+
+def _run_scenario(telemetry: bool):
+    """One seeded audited run; returns (digest, final-metrics dict)."""
+    rig = build_consumer_rig(
+        "flexgen",
+        OPT_30B,
+        producer_model=LLAMA2_13B,
+        use_aqua=True,
+        audit=True,
+        telemetry=telemetry,
+    )
+    rig.start()
+    submit_all(rig.env, rig.consumer_engine, long_prompt_requests(start=2.0))
+    # The producer serves its own seeded trace while donating memory, so
+    # the digest also covers the vLLM iteration loop and decode roofline.
+    submit_all(
+        rig.env, rig.producer_engine, sharegpt_requests(rate=3.0, count=40, seed=7)
+    )
+    rig.env.run(until=DURATION)
+    rig.auditor.check(checkpoint="final")
+    report = rig.auditor.report()
+    assert report.ok, report.violations
+
+    metrics = rig.consumer_engine.metrics
+    final = {
+        "tokens": metrics.tokens_generated,
+        "completed": len(metrics.completed),
+        "rct_mean": repr(metrics.mean_rct()),
+        "ttft_mean": repr(metrics.mean_ttft()),
+        "transfers_observed": report.transfers_observed,
+        "checks": report.checks,
+        "now": repr(rig.env.now),
+        "producer_tokens": rig.producer_engine.metrics.tokens_generated,
+    }
+    return report.digest, final
+
+
+def test_digest_matches_pre_optimisation_golden():
+    """Telemetry off: the audit digest equals the committed golden."""
+    digest, final = _run_scenario(telemetry=False)
+    assert final["tokens"] > 0 and final["transfers_observed"] > 0
+    assert digest == GOLDEN_DIGEST, (
+        f"kernel behaviour diverged from the pre-optimisation golden\n"
+        f"  got      {digest}\n  expected {GOLDEN_DIGEST}\n  final metrics: {final}"
+    )
+
+
+def test_digest_with_telemetry_matches_golden():
+    """Telemetry on is observation-only: identical digest to the golden."""
+    digest, _ = _run_scenario(telemetry=True)
+    assert digest == GOLDEN_DIGEST
+
+
+def test_identical_runs_bit_identical():
+    """Two same-seed runs agree on digest *and* every final metric."""
+    digest_a, final_a = _run_scenario(telemetry=False)
+    digest_b, final_b = _run_scenario(telemetry=False)
+    assert digest_a == digest_b
+    assert final_a == final_b
+
+
+def test_telemetry_does_not_change_final_metrics():
+    digest_off, final_off = _run_scenario(telemetry=False)
+    digest_on, final_on = _run_scenario(telemetry=True)
+    assert digest_off == digest_on
+    assert final_off == final_on
