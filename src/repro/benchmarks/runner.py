@@ -6,14 +6,21 @@ the checked-in files).  Schema, loosely::
 
     {
       "schema": "aqua-repro-bench/v1",
-      "bench_index": 4,
+      "bench_index": 5,
       "quick": false,
+      "jobs": 1,
       "python": "3.11.x",
       "platform": "Linux-...",
       "baseline": {"kernel_events_per_s": 531646, "source": "..."},
       "scenarios": {"kernel": {"events_per_s": ...}, ...},
+      "cache": {"hits": 0, "misses": 8},
       "peak_rss_bytes": 123456789
     }
+
+``jobs`` is the ``--jobs`` value the harness ran with and ``cache``
+aggregates run-cache hit/miss counts across scenarios (today only
+``runall_parallel`` exercises the cache) — both recorded so an artifact
+is interpretable without knowing the command line that produced it.
 
 ``baseline`` records the *pre-PR* kernel throughput this PR's fast path
 is measured against; it is data carried in the file, not recomputed.
@@ -24,6 +31,7 @@ regressed by more than the tolerance.
 
 from __future__ import annotations
 
+import inspect
 import json
 import platform
 import resource
@@ -35,8 +43,8 @@ from repro.benchmarks.scenarios import SCENARIOS
 SCHEMA = "aqua-repro-bench/v1"
 
 #: Index of the PR this harness landed in; names the default output
-#: file (``BENCH_4.json``).
-BENCH_INDEX = 4
+#: file (``BENCH_5.json``).
+BENCH_INDEX = 5
 
 #: The kernel throughput recorded immediately before the fast-path PR,
 #: measured by the then-current ``benchmarks/test_simulator_performance.py``
@@ -58,6 +66,9 @@ PRIMARY_METRIC = {
     "vllm_e2e": "sim_s_per_wall_s",
     "flexgen_e2e": "sim_s_per_wall_s",
     "cluster": "sim_s_per_wall_s",
+    # Cold-vs-warm-cache speedup: nearly hardware-independent, unlike
+    # the core-count-bounded parallel ``speedup`` reported alongside.
+    "runall_parallel": "warm_speedup",
 }
 
 
@@ -72,9 +83,15 @@ def peak_rss_bytes() -> int:
 
 
 def run_bench(
-    names: Optional[Iterable[str]] = None, quick: bool = False
+    names: Optional[Iterable[str]] = None, quick: bool = False, jobs: int = 1
 ) -> dict:
-    """Run the named scenarios (default: all) and return the BENCH doc."""
+    """Run the named scenarios (default: all) and return the BENCH doc.
+
+    ``jobs`` is forwarded to every scenario that declares a ``jobs``
+    parameter (the kernel repeat loop and the experiment fan-out); the
+    default of 1 keeps timed regions uncontended.  The artifact records
+    ``jobs`` plus aggregate run-cache hit/miss counts.
+    """
     selected = list(names) if names else list(SCENARIOS)
     unknown = [n for n in selected if n not in SCENARIOS]
     if unknown:
@@ -85,13 +102,26 @@ def run_bench(
         "schema": SCHEMA,
         "bench_index": BENCH_INDEX,
         "quick": quick,
+        "jobs": jobs,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "baseline": dict(RECORDED_BASELINE),
         "scenarios": {},
     }
     for name in selected:
-        doc["scenarios"][name] = SCENARIOS[name](quick)
+        fn = SCENARIOS[name]
+        kwargs = {"quick": quick}
+        if "jobs" in inspect.signature(fn).parameters:
+            kwargs["jobs"] = jobs
+        doc["scenarios"][name] = fn(**kwargs)
+    doc["cache"] = {
+        "hits": sum(
+            m.get("cache_hits", 0) for m in doc["scenarios"].values()
+        ),
+        "misses": sum(
+            m.get("cache_misses", 0) for m in doc["scenarios"].values()
+        ),
+    }
     doc["peak_rss_bytes"] = peak_rss_bytes()
     return doc
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.experiments import figures, report
 
@@ -86,7 +86,7 @@ def cmd_fig03(args) -> None:
 
 
 def cmd_fig07(args) -> None:
-    result = figures.fig07_longprompt(duration=args.duration)
+    result = figures.fig07_longprompt(duration=args.duration, jobs=args.jobs)
     print(
         report.format_table(
             ["system", "tokens", "speedup"],
@@ -112,7 +112,9 @@ def cmd_fig08(args) -> None:
 
 
 def cmd_fig09(args) -> None:
-    result = figures.fig09_cfs(rates=tuple(args.rates), count=args.count)
+    result = figures.fig09_cfs(
+        rates=tuple(args.rates), count=args.count, jobs=args.jobs
+    )
     for rate, systems in result.items():
         rows = []
         for label, data in systems.items():
@@ -164,7 +166,7 @@ def cmd_fig11(args) -> None:
 
 
 def cmd_fig12(args) -> None:
-    result = figures.fig12_tensor_size(count=args.count)
+    result = figures.fig12_tensor_size(count=args.count, jobs=args.jobs)
     rows = []
     for size, data in result.items():
         rows.append(
@@ -234,7 +236,7 @@ def cmd_resilience(args) -> int:
 
     schedule = FaultSchedule.from_file(args.faults) if args.faults else None
     result = resilience_experiment(
-        schedule=schedule, duration=args.duration, audit=args.audit
+        schedule=schedule, duration=args.duration, audit=args.audit, jobs=args.jobs
     )
     print("Resilience: goodput under faults (FlexGen consumer, LLM producer)")
     for entry in result["fault_log"]:
@@ -384,7 +386,12 @@ def cmd_e2e(args) -> None:
 def cmd_all(args) -> None:
     from repro.experiments.runall import run_all
 
-    run_all(args.out, only=args.only or None)
+    run_all(
+        args.out,
+        only=args.only or None,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
 
 
 def cmd_bench(args) -> int:
@@ -397,7 +404,9 @@ def cmd_bench(args) -> int:
         return 0
 
     out_path = args.out or f"BENCH_{benchmarks.BENCH_INDEX}.json"
-    doc = benchmarks.run_bench(args.scenarios or None, quick=args.quick)
+    doc = benchmarks.run_bench(
+        args.scenarios or None, quick=args.quick, jobs=args.jobs
+    )
     rows = []
     for name, metrics in doc["scenarios"].items():
         primary = benchmarks.PRIMARY_METRIC.get(name)
@@ -447,7 +456,9 @@ def cmd_bench(args) -> int:
 def cmd_sweep(args) -> None:
     from repro.experiments.sweep import sweep_request_rate, sweep_rows
 
-    points = sweep_request_rate(rates=tuple(args.rates), count=args.count)
+    points = sweep_request_rate(
+        rates=tuple(args.rates), count=args.count, jobs=args.jobs
+    )
     print(
         report.format_table(
             [
@@ -486,6 +497,29 @@ COMMANDS: dict[str, Callable] = {
     "sweep": cmd_sweep,
     "bench": cmd_bench,
 }
+
+
+def _add_jobs_argument(
+    parser: argparse.ArgumentParser, default: Optional[int] = None
+) -> argparse.ArgumentParser:
+    """Uniform ``--jobs N`` fan-out flag (see ``docs/parallelism.md``).
+
+    ``default=None`` resolves to one worker per CPU; ``--jobs 1``
+    preserves the serial path exactly.  ``bench`` overrides the default
+    to 1 because concurrent benchmark repeats contend for cores and
+    contaminate the timings they exist to measure.
+    """
+    from repro.experiments.pool import default_jobs
+
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=default if default is not None else default_jobs(),
+        metavar="N",
+        help="worker processes for independent simulations "
+        "(default: %(default)s; 1 = serial)",
+    )
+    return parser
 
 
 def _add_trace_argument(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
@@ -527,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = _add_trace_argument(sub.add_parser("fig07", help="long-prompt throughput"))
     p.add_argument("--duration", type=float, default=120.0)
+    _add_jobs_argument(p)
 
     p = _add_trace_argument(sub.add_parser("fig08", help="LoRA adapter RCTs"))
     p.add_argument("--rate", type=float, default=5.0)
@@ -535,6 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = _add_trace_argument(sub.add_parser("fig09", help="CFS responsiveness"))
     p.add_argument("--rates", type=float, nargs="+", default=[2.0, 5.0])
     p.add_argument("--count", type=int, default=50)
+    _add_jobs_argument(p)
 
     _add_trace_argument(
         sub.add_parser("fig10", help="elastic memory sharing timeline")
@@ -543,6 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = _add_trace_argument(sub.add_parser("fig12", help="benefit vs tensor size"))
     p.add_argument("--count", type=int, default=200)
+    _add_jobs_argument(p)
 
     p = _add_trace_argument(
         sub.add_parser("fig13", help="chatbot long-term responsiveness")
@@ -564,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--duration", type=float, default=160.0)
     _add_trace_argument(p)
+    _add_jobs_argument(p)
     p.add_argument(
         "--audit",
         action="store_true",
@@ -605,12 +643,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("all", help="run every experiment, write JSON results")
     p.add_argument("--out", default="results")
     p.add_argument("--only", nargs="*", help="subset of experiment names")
+    _add_jobs_argument(p)
+    p.add_argument(
+        "--cache-dir",
+        default=".aqua-cache",
+        metavar="DIR",
+        help="content-addressed run cache location (default: %(default)s)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every experiment, bypassing the run cache",
+    )
 
     p = _add_trace_argument(
         sub.add_parser("sweep", help="scheduler trade-offs across request rates")
     )
     p.add_argument("--rates", type=float, nargs="+", default=[1.0, 2.0, 4.0, 6.0])
     p.add_argument("--count", type=int, default=40)
+    _add_jobs_argument(p)
 
     p = sub.add_parser(
         "bench", help="simulator performance benchmarks (see docs/performance.md)"
@@ -641,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional slowdown before a scenario counts as regressed",
     )
     p.add_argument("--list", action="store_true", help="list scenarios and exit")
+    _add_jobs_argument(p, default=1)
     return parser
 
 

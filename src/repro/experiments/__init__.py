@@ -9,16 +9,32 @@ functions and prints the rows; ``EXPERIMENTS.md`` records the outcomes.
 
 from repro.experiments.harness import ConsumerRig, build_consumer_rig, drain
 from repro.experiments.observe import observe_experiment
+from repro.experiments.pool import (
+    RunCache,
+    RunResult,
+    RunSpec,
+    code_fingerprint,
+    default_jobs,
+    derive_seed,
+    run_specs,
+)
 from repro.experiments.report import format_table, summarize_requests
 from repro.experiments.resilience import default_fault_schedule, resilience_experiment
 
 __all__ = [
     "ConsumerRig",
+    "RunCache",
+    "RunResult",
+    "RunSpec",
     "build_consumer_rig",
+    "code_fingerprint",
     "default_fault_schedule",
+    "default_jobs",
+    "derive_seed",
     "drain",
     "format_table",
     "observe_experiment",
     "resilience_experiment",
+    "run_specs",
     "summarize_requests",
 ]

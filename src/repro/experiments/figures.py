@@ -37,6 +37,7 @@ from repro.experiments.harness import (
     build_consumer_rig,
     drain,
 )
+from repro.experiments.pool import RunSpec, run_specs
 from repro.experiments.report import summarize_requests
 from repro.serving import Request
 from repro.sim import Environment
@@ -239,15 +240,42 @@ def fig03b_sharing_impact(duration: float = 60.0, producer_model=SD_15) -> dict:
 # ===========================================================================
 # Figure 7: long-prompt inference — tokens generated in a fixed duration
 # ===========================================================================
+def _fig07_cell(producer: Optional[str], duration: float) -> dict:
+    """One Figure 7 variant (module-level: a pool-safe task).
+
+    ``producer`` is a model registry *name* (or ``None`` for the
+    FlexGen/DRAM baseline) so the task's kwargs stay JSON-serialisable.
+    """
+    from repro.models import get_model
+
+    model = get_model(producer) if producer is not None else None
+    rig = build_consumer_rig(
+        "flexgen",
+        OPT_30B,
+        producer_model=model,
+        use_aqua=model is not None,
+    ).start()
+    if model is not None:
+        rig.warm_up(1.0)
+    submit_all(rig.env, rig.consumer_engine, long_prompt_requests())
+    rig.env.run(until=rig.env.now + duration)
+    return {
+        "tokens": rig.consumer_engine.metrics.tokens_generated,
+        "duration": duration,
+    }
+
+
 def fig07_longprompt(
     duration: float = 120.0,
     producers: Optional[dict] = None,
+    jobs: Optional[int] = 1,
 ) -> dict:
     """Tokens generated by OPT-30B long-prompt jobs: FlexGen vs AQUA.
 
     The paper's balanced split pairs OPT-30B with StableDiffusion and
     AudioGen; the LLM-heavy split pairs it with Llama-2-13B and
-    Mistral-7B producers.
+    Mistral-7B producers.  Each variant is an independent rig, so
+    ``jobs > 1`` runs them in parallel with identical results.
     """
     if producers is None:
         producers = {
@@ -256,22 +284,21 @@ def fig07_longprompt(
             "aqua+audiogen": AUDIOGEN,
             "aqua+llama": LLAMA2_13B,
         }
-    out = {}
-    for label, producer in producers.items():
-        rig = build_consumer_rig(
-            "flexgen",
-            OPT_30B,
-            producer_model=producer,
-            use_aqua=producer is not None,
-        ).start()
-        if producer is not None:
-            rig.warm_up(1.0)
-        submit_all(rig.env, rig.consumer_engine, long_prompt_requests())
-        rig.env.run(until=rig.env.now + duration)
-        out[label] = {
-            "tokens": rig.consumer_engine.metrics.tokens_generated,
-            "duration": duration,
-        }
+    specs = [
+        RunSpec(
+            task=f"{__name__}:_fig07_cell",
+            kwargs={
+                "producer": producer if producer is None else producer.name,
+                "duration": duration,
+            },
+            label=label,
+        )
+        for label, producer in producers.items()
+    ]
+    results = run_specs(specs, jobs=jobs)
+    out = {
+        label: result.value for label, result in zip(producers, results)
+    }
     base = out.get("flexgen-dram", {}).get("tokens", 0)
     for label, data in out.items():
         data["speedup"] = data["tokens"] / base if base else float("nan")
@@ -330,6 +357,35 @@ def fig08_lora(
 # ===========================================================================
 # Figure 9 (and 15/16/17): CFS responsiveness
 # ===========================================================================
+def _fig09_cell(
+    rate: float,
+    count: int,
+    seed: int,
+    producer: str,
+    topology: str,
+    n_gpus: int,
+) -> dict:
+    """One Figure 9 rate point (module-level: a pool-safe task)."""
+    from repro.models import get_model
+
+    systems = run_scheduler_comparison(
+        producer_model=get_model(producer),
+        rate=rate,
+        count=count,
+        seed=seed,
+        topology=topology,
+        n_gpus=n_gpus,
+    )
+    return {
+        label: {
+            "summary": data["summary"],
+            "ttft": sorted(r.ttft for r in data["requests"] if r.ttft is not None),
+            "rct": sorted(r.rct for r in data["requests"] if r.rct is not None),
+        }
+        for label, data in systems.items()
+    }
+
+
 def fig09_cfs(
     rates: Sequence[float] = (2.0, 5.0),
     count: int = 50,
@@ -337,29 +393,30 @@ def fig09_cfs(
     producer_model=KANDINSKY,
     topology: str = "p2p",
     n_gpus: int = 2,
+    jobs: Optional[int] = 1,
 ) -> dict:
-    """TTFT/RCT comparison at each request rate (Figure 9a/9b)."""
-    out = {}
-    for rate in rates:
-        systems = run_scheduler_comparison(
-            producer_model=producer_model,
-            rate=rate,
-            count=count,
-            seed=seed,
-            topology=topology,
-            n_gpus=n_gpus,
+    """TTFT/RCT comparison at each request rate (Figure 9a/9b).
+
+    Rate points are independent simulations; ``jobs > 1`` fans them out
+    over a process pool with byte-identical results.
+    """
+    specs = [
+        RunSpec(
+            task=f"{__name__}:_fig09_cell",
+            kwargs={
+                "rate": rate,
+                "count": count,
+                "seed": seed,
+                "producer": producer_model.name,
+                "topology": topology,
+                "n_gpus": n_gpus,
+            },
+            label=f"rate={rate:g}",
         )
-        out[rate] = {
-            label: {
-                "summary": data["summary"],
-                "ttft": sorted(
-                    r.ttft for r in data["requests"] if r.ttft is not None
-                ),
-                "rct": sorted(r.rct for r in data["requests"] if r.rct is not None),
-            }
-            for label, data in systems.items()
-        }
-    return out
+        for rate in rates
+    ]
+    results = run_specs(specs, jobs=jobs)
+    return {rate: result.value for rate, result in zip(rates, results)}
 
 
 def fig15_llm_producer(**kwargs) -> dict:
@@ -492,6 +549,46 @@ def fig11_producer_overhead(
 # ===========================================================================
 # Figure 12: AQUA TENSOR benefit vs offloaded tensor size
 # ===========================================================================
+def _fig12_cell(
+    size_mb: int,
+    use_aqua: bool,
+    n_adapters: int,
+    rate: float,
+    count: int,
+    response_tokens: int,
+    seed: int,
+    timeout: float,
+) -> dict:
+    """One Figure 12 (size, system) cell (module-level: pool-safe)."""
+    label = "aqua" if use_aqua else "baseline"
+    adapters = synthesize_adapters(n_adapters, size_mb * MB)
+    rig = build_consumer_rig(
+        "vllm",
+        MISTRAL_7B,
+        producer_model=SD_15 if use_aqua else None,
+        use_aqua=use_aqua,
+        lora_capacity_bytes=FIG12_LORA_CACHE_BYTES,
+    ).start()
+    if use_aqua:
+        rig.warm_up(1.0)
+        for adapter in adapters:
+            rig.lora_cache.register(adapter)
+    requests = lora_requests(
+        adapters,
+        rate=rate,
+        count=count,
+        seed=seed,
+        unique_assignment=True,
+        response_tokens=response_tokens,
+    )
+    submit_all(rig.env, rig.consumer_engine, requests)
+    drain(rig.env, requests, timeout=timeout)
+    return {
+        "sorted_rct": sorted(r.rct for r in requests if r.rct is not None),
+        "summary": summarize_requests(requests, f"{label}-{size_mb}MB"),
+    }
+
+
 def fig12_tensor_size(
     adapter_sizes_mb: Sequence[int] = (160, 320),
     n_adapters: int = 200,
@@ -500,38 +597,43 @@ def fig12_tensor_size(
     response_tokens: int = 32,
     seed: int = 0,
     timeout: float = 600.0,
+    jobs: Optional[int] = 1,
 ) -> dict:
-    """Sorted RCTs per adapter size, baseline vs AQUA (SD producer)."""
+    """Sorted RCTs per adapter size, baseline vs AQUA (SD producer).
+
+    The (adapter size × system) grid fans out over a process pool when
+    ``jobs > 1``; every cell is an independent seeded rig.
+    """
+    cells = [
+        (size_mb, use_aqua)
+        for size_mb in adapter_sizes_mb
+        for use_aqua in (False, True)
+    ]
+    specs = [
+        RunSpec(
+            task=f"{__name__}:_fig12_cell",
+            kwargs={
+                "size_mb": size_mb,
+                "use_aqua": use_aqua,
+                "n_adapters": n_adapters,
+                "rate": rate,
+                "count": count,
+                "response_tokens": response_tokens,
+                "seed": seed,
+                "timeout": timeout,
+            },
+            label=f"{'aqua' if use_aqua else 'baseline'}-{size_mb}MB",
+        )
+        for size_mb, use_aqua in cells
+    ]
+    results = run_specs(specs, jobs=jobs)
+    by_cell = {cell: result.value for cell, result in zip(cells, results)}
     out = {}
     for size_mb in adapter_sizes_mb:
-        adapters = synthesize_adapters(n_adapters, size_mb * MB)
-        per_system = {}
-        for label, use_aqua in (("baseline", False), ("aqua", True)):
-            rig = build_consumer_rig(
-                "vllm",
-                MISTRAL_7B,
-                producer_model=SD_15 if use_aqua else None,
-                use_aqua=use_aqua,
-                lora_capacity_bytes=FIG12_LORA_CACHE_BYTES,
-            ).start()
-            if use_aqua:
-                rig.warm_up(1.0)
-                for adapter in adapters:
-                    rig.lora_cache.register(adapter)
-            requests = lora_requests(
-                adapters,
-                rate=rate,
-                count=count,
-                seed=seed,
-                unique_assignment=True,
-                response_tokens=response_tokens,
-            )
-            submit_all(rig.env, rig.consumer_engine, requests)
-            drain(rig.env, requests, timeout=timeout)
-            per_system[label] = {
-                "sorted_rct": sorted(r.rct for r in requests if r.rct is not None),
-                "summary": summarize_requests(requests, f"{label}-{size_mb}MB"),
-            }
+        per_system = {
+            "baseline": by_cell[(size_mb, False)],
+            "aqua": by_cell[(size_mb, True)],
+        }
         base = per_system["baseline"]["summary"].get("rct_mean", float("nan"))
         aqua = per_system["aqua"]["summary"].get("rct_mean", float("nan"))
         per_system["rct_mean_saved"] = base - aqua

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.harness import build_consumer_rig
+from repro.experiments.pool import RunSpec, run_specs
 from repro.faults import DmaStall, FaultInjector, FaultSchedule, GpuFailure, LinkDegradation
 from repro.models import LLAMA2_13B, OPT_30B
 from repro.trace import Tracer
@@ -122,6 +123,28 @@ def _run_rig(
     }
 
 
+def _rig_cell(
+    schedule: list[dict],
+    duration: float,
+    workload_start: float,
+    sample_dt: float,
+    audit: bool,
+) -> dict:
+    """Pool-safe wrapper around :func:`_run_rig`.
+
+    The schedule travels as its plain-dict JSON form and the result —
+    goodput series, counters, tracer, audit report — pickles back to
+    the parent, so the faulted and control runs can occupy two cores.
+    """
+    return _run_rig(
+        FaultSchedule.from_dicts(schedule),
+        duration,
+        workload_start,
+        sample_dt,
+        audit=audit,
+    )
+
+
 def resilience_experiment(
     schedule: Optional[FaultSchedule] = None,
     duration: float = 160.0,
@@ -131,6 +154,7 @@ def resilience_experiment(
     recovery_window: float = 8.0,
     recovery_threshold: float = 0.95,
     audit: bool = False,
+    jobs: Optional[int] = 1,
 ) -> dict:
     """Run the fault schedule against the FlexGen/NVLink rig.
 
@@ -161,6 +185,11 @@ def resilience_experiment(
         Run both rigs under a :class:`~repro.audit.ConservationAuditor`
         and include the reports (and determinism digests) in the result
         under ``"audit"``.
+    jobs:
+        ``jobs >= 2`` runs the faulted and control rigs on two worker
+        processes concurrently (they are fully independent simulations);
+        ``jobs=1`` keeps the historical serial order.  Results are
+        identical either way.
 
     Returns a dict with the goodput series of both runs (tokens/s),
     the fault log, ``pre_fault_goodput`` / ``post_fault_goodput`` /
@@ -169,8 +198,21 @@ def resilience_experiment(
     ``requeues`` / ``lost_tensors`` / ``dropped_requests`` counters.
     """
     schedule = schedule if schedule is not None else default_fault_schedule()
-    faulted = _run_rig(schedule, duration, workload_start, sample_dt, audit=audit)
-    control = _run_rig(FaultSchedule(), duration, workload_start, sample_dt, audit=audit)
+    specs = [
+        RunSpec(
+            task=f"{__name__}:_rig_cell",
+            kwargs={
+                "schedule": sched.to_dicts(),
+                "duration": duration,
+                "workload_start": workload_start,
+                "sample_dt": sample_dt,
+                "audit": audit,
+            },
+            label=label,
+        )
+        for label, sched in (("faulted", schedule), ("control", FaultSchedule()))
+    ]
+    faulted, control = (r.value for r in run_specs(specs, jobs=jobs))
 
     goodput = faulted["goodput"]
     baseline = control["goodput"]

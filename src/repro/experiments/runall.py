@@ -3,16 +3,27 @@
 ``aqua-repro all --out results/`` produces one JSON file per figure
 plus a markdown summary — the machine-readable companion to
 EXPERIMENTS.md, regenerable after any change to the simulator.
+
+Every experiment is an independent sealed simulation, so the set fans
+out over CPU cores (``--jobs N``) and memoises through the
+content-addressed run cache (``.aqua-cache/`` by default from the CLI;
+see :mod:`repro.experiments.pool` and ``docs/parallelism.md``).  The
+``manifest.json`` written alongside the results records, per
+experiment, the output path, wall seconds, whether it was a cache hit,
+and the SHA-256 digest of the result file — the digest is what the
+CI ``parallel-smoke`` job compares across serial, parallel and
+warm-cache runs.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-import time
 from pathlib import Path
 from typing import Callable, Optional
 
 from repro.experiments import figures as F
+from repro.experiments.pool import RunCache, RunSpec, run_specs
 from repro.serving.metrics import percentile
 
 
@@ -157,11 +168,20 @@ def run_all(
     out_dir: str,
     only: Optional[list[str]] = None,
     progress: Callable[[str], None] = print,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> dict:
     """Run the selected experiments, writing one JSON file each.
 
-    Returns a manifest mapping experiment name to output path and
-    wall-clock seconds.
+    ``jobs`` fans the experiments out over a process pool (``1`` = the
+    serial path); ``cache_dir`` enables the content-addressed run cache
+    so previously computed cells are replayed instead of re-simulated.
+
+    Returns a manifest mapping experiment name to output path,
+    wall-clock seconds, cache provenance and result-file digest.  The
+    ``manifest.json`` written to disk additionally carries a ``"run"``
+    entry (a reserved name, not an experiment) with the jobs count and
+    cache hit/miss totals.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -169,17 +189,37 @@ def run_all(
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
+    cache = RunCache(cache_dir) if cache_dir else None
+    specs = [
+        RunSpec(
+            task=f"{EXPERIMENTS[name].__module__}:{EXPERIMENTS[name].__name__}",
+            label=name,
+        )
+        for name in names
+    ]
+    results = run_specs(specs, jobs=jobs, cache=cache, progress=progress)
     manifest = {}
-    for name in names:
-        progress(f"running {name}...")
-        started = time.perf_counter()
-        result = EXPERIMENTS[name]()
-        elapsed = time.perf_counter() - started
+    for name, result in zip(names, results):
         path = out / f"{name}.json"
-        with open(path, "w") as f:
-            json.dump(result, f, indent=1, default=str)
-        manifest[name] = {"path": str(path), "seconds": round(elapsed, 2)}
+        payload = json.dumps(result.value, indent=1, default=str)
+        path.write_text(payload)
+        manifest[name] = {
+            "path": str(path),
+            "seconds": round(result.seconds, 2),
+            "cached": result.cached,
+            "digest": hashlib.sha256(payload.encode()).hexdigest(),
+        }
+    run_entry = {"jobs": jobs}
+    if cache is not None:
+        run_entry["cache"] = {"dir": str(cache.dir), **cache.stats.to_dict()}
     with open(out / "manifest.json", "w") as f:
-        json.dump(manifest, f, indent=1)
-    progress(f"wrote {len(manifest)} result files to {out}/")
+        json.dump({**manifest, "run": run_entry}, f, indent=1)
+    if cache is not None:
+        progress(
+            f"wrote {len(manifest)} result files to {out}/ "
+            f"(jobs={jobs}, cache hits={cache.stats.hits} "
+            f"misses={cache.stats.misses})"
+        )
+    else:
+        progress(f"wrote {len(manifest)} result files to {out}/")
     return manifest

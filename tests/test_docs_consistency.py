@@ -40,6 +40,7 @@ def test_doc_test_pointers_resolve():
     for doc in [ROOT / "docs" / "architecture.md", ROOT / "docs" / "resilience.md",
                 ROOT / "docs" / "observability.md",
                 ROOT / "docs" / "performance.md",
+                ROOT / "docs" / "parallelism.md",
                 ROOT / "DESIGN.md", ROOT / "EXPERIMENTS.md"]:
         refs.extend(
             re.findall(r"(test_[a-z0-9_]+\.py)::(test_[a-z0-9_]+)", doc.read_text())

@@ -239,6 +239,22 @@ def test_sweep_single_point():
     assert len(rows) == 1 and rows[0][0] == 2.0
 
 
+def test_sweep_point_metric_nan_for_missing_system_and_key():
+    """Unknown system label and unknown metric key behave the same: NaN.
+
+    Regression test — ``metric()`` used to raise ``KeyError`` for a
+    missing system but return NaN for a missing key.
+    """
+    import math
+
+    from repro.experiments.sweep import SweepPoint
+
+    point = SweepPoint(rate=1.0, summaries={"aqua": {"p50_latency_s": 0.5}})
+    assert point.metric("aqua", "p50_latency_s") == 0.5
+    assert math.isnan(point.metric("aqua", "no_such_key"))
+    assert math.isnan(point.metric("no_such_system", "p50_latency_s"))
+
+
 def test_e2e_cluster_placement_matches_all_consumers():
     result = F.e2e_cluster_placement()
     assert result["balanced"]["unmatched"] == []
