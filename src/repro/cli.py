@@ -4,9 +4,10 @@ Examples::
 
     aqua-repro list
     aqua-repro fig07 --duration 120
-    aqua-repro fig09 --rate 5 --count 50
+    aqua-repro fig09 --rates 2 5 --count 50
     aqua-repro fig14 --gpus 16 32 64 128
     aqua-repro tables
+    aqua-repro replicate --jobs 4
 """
 
 from __future__ import annotations
@@ -453,6 +454,30 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_replicate(args) -> int:
+    """One-command verdict: does this repo still reproduce the paper?"""
+    from repro import evals
+
+    if args.list:
+        for claim in evals.get_claims():
+            print(f"{claim.id:32s} {claim.figure:18s} cells: {', '.join(claim.experiments)}")
+        return 0
+
+    doc = evals.replicate(
+        only=args.only or None,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=print,
+    )
+    print(evals.render_text(doc))
+    out_path = evals.write_replication(doc, args.out)
+    print(f"replication document written to {out_path}")
+    if args.report:
+        evals.write_markdown(doc, args.report)
+        print(f"markdown report written to {args.report}")
+    return 1 if doc["summary"]["verdict"] == "FAIL" else 0
+
+
 def cmd_sweep(args) -> None:
     from repro.experiments.sweep import sweep_request_rate, sweep_rows
 
@@ -496,6 +521,7 @@ COMMANDS: dict[str, Callable] = {
     "all": cmd_all,
     "sweep": cmd_sweep,
     "bench": cmd_bench,
+    "replicate": cmd_replicate,
 }
 
 
@@ -655,6 +681,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute every experiment, bypassing the run cache",
     )
+
+    p = sub.add_parser(
+        "replicate",
+        help="score every paper claim PASS/FAIL/SKIP (see docs/replication.md)",
+    )
+    p.add_argument(
+        "--only",
+        nargs="*",
+        metavar="CLAIM",
+        help="claim ids, id prefixes or experiment names (default: all claims)",
+    )
+    p.add_argument(
+        "--out",
+        default="REPLICATION.json",
+        metavar="REPLICATION.json",
+        help="where to write the scored document (default: %(default)s)",
+    )
+    p.add_argument(
+        "--report",
+        metavar="report.md",
+        help="also write a human-readable markdown report",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".aqua-cache",
+        metavar="DIR",
+        help="content-addressed run cache location (default: %(default)s)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every experiment cell, bypassing the run cache",
+    )
+    p.add_argument("--list", action="store_true", help="list claims and exit")
+    _add_jobs_argument(p)
 
     p = _add_trace_argument(
         sub.add_parser("sweep", help="scheduler trade-offs across request rates")

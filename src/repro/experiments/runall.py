@@ -67,6 +67,10 @@ def _fig10() -> dict:
     return {
         "consumer_tokens_total": result["consumer_tokens_total"],
         "free_memory_gib": result["free_memory_gib"][::10],
+        # Per-second consumer throughput, decimated; the replication
+        # eval (fig10-sawtooth) checks the donate -> reclaim-dip ->
+        # recovery shape on these windows.
+        "consumer_tokens_per_s": result["consumer_tokens_per_s"][::5],
         "phases": result["phases"],
     }
 

@@ -37,11 +37,9 @@ def test_doc_test_pointers_resolve():
     """Every ``tests/<file>.py::<test>`` pointer in the docs must resolve
     to a real test function, so doc claims stay verifiable."""
     refs = []
-    for doc in [ROOT / "docs" / "architecture.md", ROOT / "docs" / "resilience.md",
-                ROOT / "docs" / "observability.md",
-                ROOT / "docs" / "performance.md",
-                ROOT / "docs" / "parallelism.md",
-                ROOT / "DESIGN.md", ROOT / "EXPERIMENTS.md"]:
+    docs = sorted((ROOT / "docs").glob("*.md"))
+    assert ROOT / "docs" / "replication.md" in docs
+    for doc in docs + [ROOT / "DESIGN.md", ROOT / "EXPERIMENTS.md"]:
         refs.extend(
             re.findall(r"(test_[a-z0-9_]+\.py)::(test_[a-z0-9_]+)", doc.read_text())
         )
@@ -94,3 +92,40 @@ def test_cli_commands_documented_in_help():
     help_text = build_parser().format_help()
     for name in COMMANDS:
         assert name in help_text
+
+
+def test_cli_usages_in_docs_match_the_parser():
+    """Every ``aqua-repro <subcommand> --flag`` the docs show must parse:
+    the subcommand must exist and each flag must be an option of that
+    subcommand (catches docs drifting behind CLI changes)."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    options = {
+        name: {opt for act in sub._actions for opt in act.option_strings}
+        for name, sub in subparsers.choices.items()
+    }
+
+    # A usage is "aqua-repro <word> ...rest of line", where the rest is
+    # cut at a backtick (end of inline code) or a shell comment.
+    usage_re = re.compile(r"aqua-repro\s+([a-z][a-z0-9_]*)([^`#\n]*)")
+    docs = sorted((ROOT / "docs").glob("*.md"))
+    docs += [ROOT / "README.md", ROOT / "EXPERIMENTS.md", ROOT / "DESIGN.md"]
+    usages = []
+    for doc in docs:
+        for match in usage_re.finditer(doc.read_text()):
+            flags = re.findall(r"--[a-z][a-z0-9-]*", match.group(2))
+            usages.append((doc.name, match.group(1), flags))
+
+    assert any(cmd == "replicate" for _, cmd, _ in usages)
+    for doc, cmd, flags in usages:
+        assert cmd in options, f"{doc}: unknown subcommand 'aqua-repro {cmd}'"
+        for flag in flags:
+            assert flag in options[cmd], (
+                f"{doc}: 'aqua-repro {cmd}' does not accept {flag}"
+            )

@@ -1,0 +1,256 @@
+"""Tests for the replication-grade evaluation suite (repro.evals)."""
+
+import json
+import math
+
+import pytest
+
+from repro import evals
+from repro.evals import checks as C
+from repro.evals.registry import Claim, EvalRegistry
+from repro.evals.runner import evaluate_claim, replicate, run_cell
+from repro.evals.schema import SchemaError, validate_replication
+from repro.experiments.runall import EXPERIMENTS
+
+
+# ---------------------------------------------------------------------------
+# Registry: the catalog covers the whole figure/table set
+# ---------------------------------------------------------------------------
+def test_every_runall_experiment_is_covered_by_a_claim():
+    covered = set(evals.REGISTRY.experiments())
+    assert covered == set(EXPERIMENTS), (
+        f"claims must consume every figure/table cell; "
+        f"uncovered: {set(EXPERIMENTS) - covered}, "
+        f"unknown: {covered - set(EXPERIMENTS)}"
+    )
+
+
+def test_claims_have_unique_ids_and_tolerances_declared_as_data():
+    claims = evals.get_claims()
+    assert len(claims) >= 20
+    assert len({c.id for c in claims}) == len(claims)
+    for claim in claims:
+        assert claim.claim, f"{claim.id} has no claim text"
+        assert claim.expected, f"{claim.id} has no expected statement"
+        assert isinstance(claim.tolerance, dict)
+
+
+def test_select_by_id_prefix_and_experiment_name():
+    registry = evals.REGISTRY
+    assert {c.id for c in registry.select(["fig02"])} == {
+        "fig02-producer-headroom",
+        "fig02-llm-exhaustion",
+    }
+    assert [c.id for c in registry.select(["fig07-speedup"])] == ["fig07-speedup"]
+    # fig15 is an *experiment* name consumed by the invariance claim.
+    assert [c.id for c in registry.select(["fig15"])] == [
+        "fig15-17-producer-invariance"
+    ]
+    with pytest.raises(KeyError):
+        registry.select(["no-such-claim"])
+
+
+def test_registry_rejects_duplicates_and_cell_less_claims():
+    registry = EvalRegistry()
+    claim = Claim(
+        id="x-a", figure="F", claim="c", experiments=("fig02",), check=lambda r, t: None
+    )
+    registry.register(claim)
+    with pytest.raises(ValueError):
+        registry.register(claim)
+    with pytest.raises(ValueError):
+        registry.register(
+            Claim(id="x-b", figure="F", claim="c", experiments=(), check=lambda r, t: None)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Checks: tolerance boundaries are inclusive and deterministic
+# ---------------------------------------------------------------------------
+def test_band_boundaries_are_inclusive():
+    # A value landing exactly on either band edge must PASS, always.
+    assert C.check_band(1.5, 1.5, None, "x").status == C.PASS
+    assert C.check_band(2.6, None, 2.6, "x").status == C.PASS
+    assert C.check_band(1.5, 1.5, 1.5, "x").status == C.PASS
+    below = C.check_band(math.nextafter(1.5, 0.0), 1.5, None, "x")
+    above = C.check_band(math.nextafter(2.6, 3.0), None, 2.6, "x")
+    assert below.status == C.FAIL and above.status == C.FAIL
+    # Determinism: identical inputs, identical verdict and margin.
+    again = C.check_band(1.5, 1.5, None, "x")
+    assert (again.status, again.delta) == (C.PASS, 0.0)
+
+
+def test_metric_rejects_missing_none_and_nan():
+    data = {"a": {"b": [1.0, None]}, "nan": float("nan")}
+    assert C.metric(data, "a", "b", 0) == 1.0
+    for path in (("a", "missing"), ("a", "b", 1), ("nan",), ("a", "b", 7)):
+        with pytest.raises(C.MissingMetric):
+            C.metric(data, *path)
+
+
+def test_ratio_guards_zero_denominator():
+    with pytest.raises(C.MissingMetric):
+        C.ratio(1.0, 0.0)
+
+
+def test_check_all_fail_dominates_skip_dominates_pass():
+    p = C.CheckResult(C.PASS, delta=1.0)
+    s = C.CheckResult(C.SKIP, detail="missing")
+    f = C.CheckResult(C.FAIL, detail="out of band")
+    assert C.check_all([p, s, f]).status == C.FAIL
+    assert C.check_all([p, s]).status == C.SKIP
+    assert C.check_all([p, p]).status == C.PASS
+    assert C.check_all([]).status == C.SKIP
+
+
+# ---------------------------------------------------------------------------
+# Runner edge cases: failed cells and bad metrics score SKIP, never crash
+# ---------------------------------------------------------------------------
+def _claim(check):
+    return Claim(
+        id="t-claim",
+        figure="Figure T",
+        claim="test claim",
+        experiments=("cellA",),
+        check=check,
+        tolerance={"lo": 1.0},
+        expected="whatever",
+    )
+
+
+def test_failed_cell_scores_skip_with_error_detail():
+    claim = _claim(lambda r, t: C.CheckResult(C.PASS))
+    scored = evaluate_claim(claim, {"cellA": {"ok": False, "error": "BOOM: kaput"}})
+    assert scored["status"] == "SKIP"
+    assert "BOOM: kaput" in scored["detail"]
+
+
+def test_missing_cell_scores_skip():
+    claim = _claim(lambda r, t: C.CheckResult(C.PASS))
+    scored = evaluate_claim(claim, {})
+    assert scored["status"] == "SKIP"
+    assert "not run" in scored["detail"]
+
+
+def test_nan_metric_scores_skip():
+    def check(results, tol):
+        return C.check_band(
+            C.metric(results, "cellA", "value"), tol["lo"], None, "value"
+        )
+
+    scored = evaluate_claim(
+        _claim(check), {"cellA": {"ok": True, "value": {"value": float("nan")}}}
+    )
+    assert scored["status"] == "SKIP"
+    assert "NaN" in scored["detail"]
+
+
+def test_buggy_check_scores_skip_not_crash():
+    def check(results, tol):
+        raise RuntimeError("check bug")
+
+    scored = evaluate_claim(_claim(check), {"cellA": {"ok": True, "value": {}}})
+    assert scored["status"] == "SKIP"
+    assert "check bug" in scored["detail"]
+
+
+def test_run_cell_contains_experiment_errors():
+    payload = run_cell("tables")
+    assert payload["ok"] and payload["value"]["table1"]
+    broken = run_cell("no-such-experiment")
+    assert not broken["ok"] and "KeyError" in broken["error"]
+
+
+# ---------------------------------------------------------------------------
+# Schema: REPLICATION.json round-trips and self-validates
+# ---------------------------------------------------------------------------
+def _fast_doc(tmp_path, **kwargs):
+    return replicate(
+        only=["fig02", "tables"],
+        jobs=1,
+        cache_dir=str(tmp_path / "cache") if kwargs.get("cache") else None,
+    )
+
+
+def test_replication_document_round_trips(tmp_path):
+    doc = _fast_doc(tmp_path)
+    path = evals.write_replication(doc, tmp_path / "REPLICATION.json")
+    loaded = evals.load_replication(path)  # validates on load
+    assert loaded == json.loads(json.dumps(doc, default=str))
+    assert loaded["summary"]["verdict"] in ("PASS", "FAIL")
+    assert loaded["summary"]["total"] == len(loaded["claims"]) == 3
+
+
+def test_validator_rejects_malformed_documents(tmp_path):
+    doc = _fast_doc(tmp_path)
+    for mutate in (
+        lambda d: d.pop("summary"),
+        lambda d: d["claims"][0].pop("status"),
+        lambda d: d["claims"][0].update(status="MAYBE"),
+        lambda d: d["summary"].update({"pass": 99}),
+        lambda d: d["summary"].update({"verdict": "FAIL"}),
+        lambda d: d.update(schema="other/v9"),
+        lambda d: d["claims"].clear(),
+        lambda d: d["claims"][0].update(experiments=["ghost-cell"]),
+    ):
+        broken = json.loads(json.dumps(doc, default=str))
+        mutate(broken)
+        with pytest.raises(SchemaError):
+            validate_replication(broken)
+
+
+# ---------------------------------------------------------------------------
+# End to end: warm cache replays, reports render
+# ---------------------------------------------------------------------------
+def test_replicate_warm_cache_replays_cells(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = replicate(only=["fig02", "tables"], jobs=1, cache_dir=cache_dir)
+    warm = replicate(only=["fig02", "tables"], jobs=1, cache_dir=cache_dir)
+    assert all(not cell["cached"] for cell in cold["cells"].values())
+    assert all(cell["cached"] for cell in warm["cells"].values())
+    assert cold["cache"]["misses"] == len(cold["cells"])
+    assert warm["cache"]["hits"] == len(warm["cells"])
+    # The verdict is unchanged by the replay.
+    strip = lambda d: [  # noqa: E731 - tiny local normaliser
+        {k: v for k, v in c.items() if k != "detail"} for c in d["claims"]
+    ]
+    assert strip(cold) == strip(warm)
+
+
+def test_fast_claims_pass_on_main(tmp_path):
+    doc = _fast_doc(tmp_path)
+    statuses = {c["id"]: c["status"] for c in doc["claims"]}
+    assert statuses == {
+        "fig02-producer-headroom": "PASS",
+        "fig02-llm-exhaustion": "PASS",
+        "tables-inventory": "PASS",
+    }
+    assert doc["summary"]["verdict"] == "PASS"
+
+
+def test_reports_render_every_claim(tmp_path):
+    doc = _fast_doc(tmp_path)
+    text = evals.render_text(doc)
+    md = evals.render_markdown(doc)
+    for claim in doc["claims"]:
+        assert claim["id"] in text and claim["id"] in md
+    assert "verdict" in text.lower() and "Verdict" in md
+
+
+def test_cli_replicate_list_and_run(tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+
+    assert main(["replicate", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig07-speedup" in out and "e2e-placement-coverage" in out
+
+    monkeypatch.chdir(tmp_path)
+    rc = main(
+        ["replicate", "--only", "tables-inventory", "--jobs", "1", "--no-cache",
+         "--report", "verdict.md"]
+    )
+    assert rc == 0
+    assert (tmp_path / "REPLICATION.json").exists()
+    assert (tmp_path / "verdict.md").exists()
+    loaded = evals.load_replication(tmp_path / "REPLICATION.json")
+    assert loaded["summary"]["verdict"] == "PASS"
