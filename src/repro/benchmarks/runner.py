@@ -42,9 +42,9 @@ from repro.benchmarks.scenarios import SCENARIOS
 
 SCHEMA = "aqua-repro-bench/v1"
 
-#: Index of the PR this harness landed in; names the default output
-#: file (``BENCH_5.json``).
-BENCH_INDEX = 5
+#: Index of the current BENCH artifact; names the default output
+#: file (``BENCH_6.json``).
+BENCH_INDEX = 6
 
 #: The kernel throughput recorded immediately before the fast-path PR,
 #: measured by the then-current ``benchmarks/test_simulator_performance.py``
@@ -83,14 +83,22 @@ def peak_rss_bytes() -> int:
 
 
 def run_bench(
-    names: Optional[Iterable[str]] = None, quick: bool = False, jobs: int = 1
+    names: Optional[Iterable[str]] = None,
+    quick: bool = False,
+    jobs: int = 1,
+    scheduler: str = "heap",
 ) -> dict:
     """Run the named scenarios (default: all) and return the BENCH doc.
 
     ``jobs`` is forwarded to every scenario that declares a ``jobs``
     parameter (the kernel repeat loop and the experiment fan-out); the
-    default of 1 keeps timed regions uncontended.  The artifact records
-    ``jobs`` plus aggregate run-cache hit/miss counts.
+    default of 1 keeps timed regions uncontended.  ``scheduler``
+    selects the kernel schedule backend for every scenario that
+    declares a ``scheduler`` parameter (see ``--scheduler`` on the
+    CLI); scenario metrics record which backend produced them, and
+    :func:`compare_bench` refuses to gate across mismatched backends.
+    The artifact records ``jobs`` plus aggregate run-cache hit/miss
+    counts.
     """
     selected = list(names) if names else list(SCENARIOS)
     unknown = [n for n in selected if n not in SCENARIOS]
@@ -103,6 +111,7 @@ def run_bench(
         "bench_index": BENCH_INDEX,
         "quick": quick,
         "jobs": jobs,
+        "scheduler": scheduler,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "baseline": dict(RECORDED_BASELINE),
@@ -111,8 +120,11 @@ def run_bench(
     for name in selected:
         fn = SCENARIOS[name]
         kwargs = {"quick": quick}
-        if "jobs" in inspect.signature(fn).parameters:
+        params = inspect.signature(fn).parameters
+        if "jobs" in params:
             kwargs["jobs"] = jobs
+        if "scheduler" in params:
+            kwargs["scheduler"] = scheduler
         doc["scenarios"][name] = fn(**kwargs)
     doc["cache"] = {
         "hits": sum(
@@ -176,6 +188,14 @@ def compare_bench(
     whose primary metric fell more than ``tolerance`` (fractional) below
     the baseline document's value.  Scenarios present in only one
     document are reported but never gate.
+
+    The gate only compares like-for-like: a scenario measured under a
+    different schedule backend than the baseline's (the recorded
+    ``scheduler`` field; absent means the historical ``"heap"``) is
+    reported but never gated, since raw events/s across backends is an
+    A/B comparison, not a regression signal.  Likewise the coarsened
+    companion metrics (``token_steps_per_s`` etc.) are informational —
+    only the raw primary metric gates.
     """
     if not 0 <= tolerance < 1:
         raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
@@ -189,6 +209,14 @@ def compare_bench(
         base_metrics = base_scenarios.get(name)
         if not base_metrics or primary not in base_metrics:
             lines.append(f"{name}: no baseline value (new scenario)")
+            continue
+        cur_sched = metrics.get("scheduler") or "heap"
+        base_sched = base_metrics.get("scheduler") or "heap"
+        if cur_sched != base_sched:
+            lines.append(
+                f"{name}: scheduler {cur_sched!r} vs baseline "
+                f"{base_sched!r} — not like-for-like, not gated"
+            )
             continue
         cur, base = metrics[primary], base_metrics[primary]
         ratio = cur / base if base else float("inf")

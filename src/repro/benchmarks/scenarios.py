@@ -51,17 +51,37 @@ def scenario(fn: Callable[[bool], dict]) -> Callable[[bool], dict]:
 # ---------------------------------------------------------------------------
 # Kernel microbenchmark
 # ---------------------------------------------------------------------------
-def _kernel_round(n_processes: int, hops: int) -> float:
-    """One timed run of the process/sleep microbenchmark; returns wall s."""
-    env = Environment()
+def _kernel_round(
+    n_processes: int, hops: int, scheduler: str = "heap", coarsen: int = 1
+) -> float:
+    """One timed run of the process/sleep microbenchmark; returns wall s.
+
+    ``scheduler`` selects the kernel schedule backend.  ``coarsen > 1``
+    is the microbenchmark analogue of time-warp decode coarsening: each
+    worker still models ``hops`` per-token steps of simulated time, but
+    fuses every ``coarsen`` consecutive delays into one aggregate sleep
+    — same simulated horizon, ~``coarsen``x fewer kernel events.
+    """
+    try:
+        env = Environment(scheduler=scheduler)
+    except TypeError:  # pre-pluggable kernels (A/B harness support)
+        env = Environment()
     bare = getattr(sim_core, "SUPPORTS_BARE_DELAY", False)
 
     # Precompute each worker's delay sequence (7 distinct values keeps
-    # the heap honest without putting arithmetic on the timed path).
+    # the schedule honest without putting arithmetic on the timed path).
     all_delays = [
         tuple(0.001 * ((i + step) % 7 + 1) for step in range(hops))
         for i in range(n_processes)
     ]
+    if coarsen > 1:
+        all_delays = [
+            tuple(
+                sum(delays[j : j + coarsen])
+                for j in range(0, len(delays), coarsen)
+            )
+            for delays in all_delays
+        ]
 
     if bare:
 
@@ -93,14 +113,19 @@ def kernel_event_count(n_processes: int, hops: int) -> int:
     return n_processes * (hops + 2)
 
 
+#: Aggregation window for the kernel scenario's coarsened companion run
+#: (the time-warp analogue: same modeled token-steps, ~8x fewer events).
+KERNEL_COARSEN = 8
+
+
 @scenario
-def kernel(quick: bool = False, jobs: int = 1) -> dict:
+def kernel(quick: bool = False, jobs: int = 1, scheduler: str = "heap") -> dict:
     n_processes, hops = (100, 60) if quick else (200, 200)
     repeats = 3 if quick else 7
     # One untimed warm-up round: the first run in a fresh process pays
     # import-cold caches and allocator growth that no steady-state
     # caller of the kernel pays.
-    _kernel_round(n_processes, hops)
+    _kernel_round(n_processes, hops, scheduler=scheduler)
     # The repeat loop submits through the experiment pool; ``jobs=1``
     # (the bench default) is the historical inline loop, ``jobs>1``
     # gives each repeat its own core.  Each round times itself, so the
@@ -108,17 +133,39 @@ def kernel(quick: bool = False, jobs: int = 1) -> dict:
     # oversubscribed.
     from repro.experiments.pool import RunSpec, run_specs
 
-    specs = [
-        RunSpec(
-            task=f"{__name__}:_kernel_round",
-            kwargs={"n_processes": n_processes, "hops": hops},
-            label=f"kernel round {i}",
-        )
-        for i in range(repeats)
-    ]
-    walls = [r.value for r in run_specs(specs, jobs=jobs)]
+    def rounds(coarsen: int) -> list[float]:
+        specs = [
+            RunSpec(
+                task=f"{__name__}:_kernel_round",
+                kwargs={
+                    "n_processes": n_processes,
+                    "hops": hops,
+                    "scheduler": scheduler,
+                    "coarsen": coarsen,
+                },
+                label=f"kernel round {i} (coarsen={coarsen})",
+            )
+            for i in range(repeats)
+        ]
+        return [r.value for r in run_specs(specs, jobs=jobs)]
+
+    # Exact pass: one event per modeled step — the raw events/s number,
+    # like-for-like with every earlier BENCH artifact.
+    walls = rounds(coarsen=1)
     events = kernel_event_count(n_processes, hops)
     best = min(walls)
+
+    # Coarsened companion: identical modeled work (``token_steps``
+    # per-token steps of simulated time), aggregated KERNEL_COARSEN
+    # steps per event.  ``token_steps_per_s`` is the modeled-throughput
+    # metric decode coarsening buys; ``events_per_s`` above stays the
+    # raw kernel number so the regression gate compares like-for-like.
+    coarse_hops = -(-hops // KERNEL_COARSEN)  # ceil
+    coarse_walls = rounds(coarsen=KERNEL_COARSEN)
+    coarse_events = kernel_event_count(n_processes, coarse_hops)
+    coarse_best = min(coarse_walls)
+    token_steps = n_processes * hops
+
     return {
         "events_per_s": events / best,
         "events_per_s_median": events / sorted(walls)[len(walls) // 2],
@@ -127,12 +174,39 @@ def kernel(quick: bool = False, jobs: int = 1) -> dict:
         "wall_s_spread": max(walls) - best,
         "repeats": repeats,
         "bare_delay_yields": getattr(sim_core, "SUPPORTS_BARE_DELAY", False),
+        "scheduler": scheduler,
+        "token_steps": token_steps,
+        "token_steps_per_s": token_steps / coarse_best,
+        "coarsen": KERNEL_COARSEN,
+        "coarse_events": coarse_events,
+        "coarse_events_per_s": coarse_events / coarse_best,
+        "coarse_wall_s_best": coarse_best,
     }
 
 
 # ---------------------------------------------------------------------------
 # End-to-end serving rigs
 # ---------------------------------------------------------------------------
+#: Repeats for the e2e scenarios.  The sims are deterministic, so every
+#: repeat models identical work and the minimum wall time is the least
+#: noise-contaminated estimate — the same best-of methodology as the
+#: kernel scenario, extended here because single-shot e2e walls (tens
+#: to hundreds of ms) made the regression gate flap on busy machines.
+E2E_REPEATS = 5
+
+
+def _best_of(run_once: Callable[[], tuple], repeats: int = E2E_REPEATS) -> tuple:
+    """Run ``run_once() -> (env, wall_s, tokens)`` ``repeats`` times;
+    return ``(env, best_wall, spread, tokens)`` from the fastest run."""
+    walls = []
+    env = tokens = None
+    for _ in range(repeats):
+        env, wall, tokens = run_once()
+        walls.append(wall)
+    best = min(walls)
+    return env, best, max(walls) - best, tokens
+
+
 def _e2e_metrics(env: Environment, sim_s: float, wall_s: float) -> dict:
     out = {
         "sim_s": sim_s,
@@ -141,13 +215,18 @@ def _e2e_metrics(env: Environment, sim_s: float, wall_s: float) -> dict:
     }
     processed = getattr(env, "events_processed", None)
     if processed is not None:
+        # Raw kernel events: deflated by design under decode coarsening
+        # (that is the point), so BENCH artifacts carry modeled tokens
+        # alongside and the regression gate never compares events/s
+        # across different coarsening or scheduler settings.
         out["events"] = processed
         out["events_per_s"] = processed / wall_s
+    out["scheduler"] = getattr(env, "scheduler", "heap")
     return out
 
 
 @scenario
-def vllm_e2e(quick: bool = False) -> dict:
+def vllm_e2e(quick: bool = False, scheduler: str = "heap") -> dict:
     """A loaded vLLM engine on one GPU (continuous batching hot loop)."""
     from repro.hardware import Server
     from repro.models import MISTRAL_7B
@@ -156,21 +235,28 @@ def vllm_e2e(quick: bool = False) -> dict:
     from repro.workloads.arrivals import submit_all
 
     duration, count = (30.0, 50) if quick else (120.0, 200)
-    env = Environment()
-    server = Server(env, n_gpus=1)
-    engine = VLLMEngine(server.gpus[0], server, MISTRAL_7B)
-    engine.start()
-    submit_all(env, engine, sharegpt_requests(rate=5.0, count=count, seed=0))
-    started = time.perf_counter()
-    env.run(until=duration)
-    wall = time.perf_counter() - started
+
+    def once():
+        env = Environment(scheduler=scheduler)
+        server = Server(env, n_gpus=1)
+        engine = VLLMEngine(server.gpus[0], server, MISTRAL_7B)
+        engine.start()
+        submit_all(env, engine, sharegpt_requests(rate=5.0, count=count, seed=0))
+        started = time.perf_counter()
+        env.run(until=duration)
+        wall = time.perf_counter() - started
+        return env, wall, engine.metrics.tokens_generated
+
+    env, wall, spread, tokens = _best_of(once)
     out = _e2e_metrics(env, duration, wall)
-    out["tokens"] = engine.metrics.tokens_generated
+    out["wall_s_spread"] = spread
+    out["tokens"] = tokens
+    out["tokens_per_wall_s"] = tokens / wall
     return out
 
 
 @scenario
-def flexgen_e2e(quick: bool = False) -> dict:
+def flexgen_e2e(quick: bool = False, scheduler: str = "heap") -> dict:
     """The offloading rig of the determinism golden: FlexGen consumer +
     LLM producer over AQUA, long-prompt and ShareGPT traffic."""
     from repro.experiments.harness import build_consumer_rig
@@ -180,24 +266,33 @@ def flexgen_e2e(quick: bool = False) -> dict:
     from repro.workloads.sharegpt import sharegpt_requests
 
     duration = 10.0 if quick else 30.0
-    rig = build_consumer_rig(
-        "flexgen", OPT_30B, producer_model=LLAMA2_13B, use_aqua=True
-    )
-    rig.start()
-    submit_all(rig.env, rig.consumer_engine, long_prompt_requests(start=2.0))
-    submit_all(
-        rig.env, rig.producer_engine, sharegpt_requests(rate=3.0, count=40, seed=7)
-    )
-    started = time.perf_counter()
-    rig.env.run(until=duration)
-    wall = time.perf_counter() - started
-    out = _e2e_metrics(rig.env, duration, wall)
-    out["tokens"] = rig.consumer_engine.metrics.tokens_generated
+
+    def once():
+        rig = build_consumer_rig(
+            "flexgen", OPT_30B, producer_model=LLAMA2_13B, use_aqua=True,
+            scheduler=scheduler,
+        )
+        rig.start()
+        submit_all(rig.env, rig.consumer_engine, long_prompt_requests(start=2.0))
+        submit_all(
+            rig.env, rig.producer_engine,
+            sharegpt_requests(rate=3.0, count=40, seed=7),
+        )
+        started = time.perf_counter()
+        rig.env.run(until=duration)
+        wall = time.perf_counter() - started
+        return rig.env, wall, rig.consumer_engine.metrics.tokens_generated
+
+    env, wall, spread, tokens = _best_of(once)
+    out = _e2e_metrics(env, duration, wall)
+    out["wall_s_spread"] = spread
+    out["tokens"] = tokens
+    out["tokens_per_wall_s"] = tokens / wall
     return out
 
 
 @scenario
-def cluster(quick: bool = False) -> dict:
+def cluster(quick: bool = False, scheduler: str = "heap") -> dict:
     """8-GPU NVSwitch stress: four consumer/producer pairs, one fabric."""
     from repro.aqua import Coordinator
     from repro.experiments.harness import build_consumer_rig
@@ -207,33 +302,41 @@ def cluster(quick: bool = False) -> dict:
     from repro.workloads.longprompt import long_prompt_requests
 
     duration = 5.0 if quick else 20.0
-    env = Environment()
-    server = Server(env, n_gpus=8, topology="nvswitch")
-    coordinator = Coordinator()
-    rigs = []
-    for i, producer_model in enumerate((SD_15, SD_XL, KANDINSKY, AUDIOGEN)):
-        rigs.append(
-            build_consumer_rig(
-                "flexgen",
-                OPT_30B,
-                producer_model=producer_model,
-                use_aqua=True,
-                env=env,
-                server=server,
-                consumer_gpu=i,
-                producer_gpu=4 + i,
-                coordinator=coordinator,
-                name_prefix=f"pair{i}-",
-            ).start()
-        )
-    env.run(until=1.0)  # producers donate before the workload starts
-    for rig in rigs:
-        submit_all(env, rig.consumer_engine, long_prompt_requests(start=1.0))
-    started = time.perf_counter()
-    env.run(until=1.0 + duration)
-    wall = time.perf_counter() - started
+
+    def once():
+        env = Environment(scheduler=scheduler)
+        server = Server(env, n_gpus=8, topology="nvswitch")
+        coordinator = Coordinator()
+        rigs = []
+        for i, producer_model in enumerate((SD_15, SD_XL, KANDINSKY, AUDIOGEN)):
+            rigs.append(
+                build_consumer_rig(
+                    "flexgen",
+                    OPT_30B,
+                    producer_model=producer_model,
+                    use_aqua=True,
+                    env=env,
+                    server=server,
+                    consumer_gpu=i,
+                    producer_gpu=4 + i,
+                    coordinator=coordinator,
+                    name_prefix=f"pair{i}-",
+                ).start()
+            )
+        env.run(until=1.0)  # producers donate before the workload starts
+        for rig in rigs:
+            submit_all(env, rig.consumer_engine, long_prompt_requests(start=1.0))
+        started = time.perf_counter()
+        env.run(until=1.0 + duration)
+        wall = time.perf_counter() - started
+        tokens = sum(r.consumer_engine.metrics.tokens_generated for r in rigs)
+        return env, wall, tokens
+
+    env, wall, spread, tokens = _best_of(once)
     out = _e2e_metrics(env, duration, wall)
-    out["tokens"] = sum(r.consumer_engine.metrics.tokens_generated for r in rigs)
+    out["wall_s_spread"] = spread
+    out["tokens"] = tokens
+    out["tokens_per_wall_s"] = tokens / wall
     return out
 
 
@@ -320,9 +423,17 @@ def runall_parallel(quick: bool = False, jobs: int = 0) -> dict:
         cold = run_specs(specs, jobs=parallel_jobs, cache=cache)
         cold_wall = time.perf_counter() - started
 
-        started = time.perf_counter()
-        warm = run_specs(specs, jobs=parallel_jobs, cache=cache)
-        warm_wall = time.perf_counter() - started
+        # The warm wall is ~milliseconds (pure cache replay), so a
+        # single-shot measurement is dominated by scheduler jitter on a
+        # busy host; replay several times and gate on the best, the
+        # same best-of-N methodology the kernel scenario uses.
+        warm_repeats = 5
+        warm_walls = []
+        for _ in range(warm_repeats):
+            started = time.perf_counter()
+            warm = run_specs(specs, jobs=parallel_jobs, cache=cache)
+            warm_walls.append(time.perf_counter() - started)
+        warm_wall = min(warm_walls)
         hits, misses = cache.stats.hits, cache.stats.misses
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
@@ -335,10 +446,11 @@ def runall_parallel(quick: bool = False, jobs: int = 0) -> dict:
         "parallel_wall_s": cold_wall,
         "speedup": serial_wall / cold_wall,
         "warm_wall_s": warm_wall,
+        "warm_repeats": warm_repeats,
         "warm_speedup": cold_wall / warm_wall,
         "warm_over_cold_fraction": warm_wall / cold_wall,
         "cache_hits": hits,
         "cache_misses": misses,
-        "all_cells_hit_warm": hits == cells,
+        "all_cells_hit_warm": hits == cells * warm_repeats,
         "digests_match": digest(serial) == digest(cold) == digest(warm),
     }

@@ -406,7 +406,10 @@ def cmd_bench(args) -> int:
 
     out_path = args.out or f"BENCH_{benchmarks.BENCH_INDEX}.json"
     doc = benchmarks.run_bench(
-        args.scenarios or None, quick=args.quick, jobs=args.jobs
+        args.scenarios or None,
+        quick=args.quick,
+        jobs=args.jobs,
+        scheduler=args.scheduler,
     )
     rows = []
     for name, metrics in doc["scenarios"].items():
@@ -434,6 +437,12 @@ def cmd_bench(args) -> int:
             f"kernel: {kernel['events_per_s']:,.0f} events/s vs recorded "
             f"pre-fast-path baseline {base:,.0f} ({speedup:.2f}x)"
         )
+        if "token_steps_per_s" in kernel:
+            print(
+                f"kernel (coarsened x{kernel['coarsen']}): "
+                f"{kernel['token_steps_per_s']:,.0f} modeled token-steps/s "
+                f"({kernel['token_steps_per_s'] / base:,.2f}x baseline)"
+            )
     print(f"peak RSS: {doc['peak_rss_bytes'] / 2**20:,.0f} MiB")
 
     benchmarks.write_bench(doc, out_path)
@@ -753,6 +762,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional slowdown before a scenario counts as regressed",
     )
     p.add_argument("--list", action="store_true", help="list scenarios and exit")
+    p.add_argument(
+        "--scheduler",
+        choices=["heap", "calendar"],
+        default="heap",
+        help=(
+            "kernel schedule backend: the default binary heap, or the "
+            "calendar queue for high event density (docs/performance.md)"
+        ),
+    )
     _add_jobs_argument(p, default=1)
     return parser
 

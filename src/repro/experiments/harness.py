@@ -61,17 +61,23 @@ def _producer_informer(model: ProducerSpec):
     return BatchInformer()
 
 
-def _make_producer(server, gpu, model: ProducerSpec, coordinator, name: str, telemetry=None):
+def _make_producer(
+    server, gpu, model: ProducerSpec, coordinator, name: str, telemetry=None,
+    decode_coarsen: int = 1,
+):
     lib = AquaLib(
         gpu, server, coordinator, informer=_producer_informer(model), telemetry=telemetry
     )
     if isinstance(model, LLMSpec):
         engine = VLLMEngine(
             gpu, server, model, aqua_lib=lib, inform_every=4, name=name,
-            telemetry=telemetry,
+            telemetry=telemetry, decode_coarsen=decode_coarsen,
         )
     else:
-        engine = BatchEngine(gpu, server, model, aqua_lib=lib, name=name)
+        engine = BatchEngine(
+            gpu, server, model, aqua_lib=lib, name=name,
+            decode_coarsen=decode_coarsen,
+        )
     return engine, lib
 
 
@@ -91,6 +97,8 @@ def build_consumer_rig(
     audit: bool = False,
     audit_interval: float = 1.0,
     telemetry: bool = False,
+    scheduler: str = "heap",
+    decode_coarsen: int = 1,
 ) -> ConsumerRig:
     """Build a consumer/producer pair.
 
@@ -120,6 +128,16 @@ def build_consumer_rig(
         and AQUA-LIB instances.  Available as ``rig.telemetry``; see
         ``docs/observability.md``.  Off by default — a disabled rig has
         bit-identical behaviour (audit digests are unchanged).
+    scheduler:
+        Kernel schedule backend for the rig's :class:`Environment`
+        (``"heap"`` default, ``"calendar"`` for high event density; see
+        :mod:`repro.sim.schedulers`).  Ignored when an existing ``env``
+        is passed in.
+    decode_coarsen:
+        Time-warp decode-coarsening window forwarded to the consumer
+        engine (and a BatchEngine producer).  Default 1 keeps the exact
+        per-token paths; see ``docs/performance.md`` for the fidelity
+        trade-offs.
     """
     if consumer_kind not in ("vllm", "cfs", "flexgen"):
         raise ValueError(f"unknown consumer kind {consumer_kind!r}")
@@ -129,12 +147,14 @@ def build_consumer_rig(
         producer_model = get_model(producer_model)
 
     if env is None:
-        env = Environment()
+        env = Environment(scheduler=scheduler)
     if server is None:
         n_gpus = max(consumer_gpu, producer_gpu) + 1 if producer_model else consumer_gpu + 1
         server = Server(env, n_gpus=max(2, n_gpus), topology="p2p")
     coordinator = coordinator or Coordinator()
     kwargs = dict(consumer_kwargs or {})
+    if decode_coarsen != 1:
+        kwargs.setdefault("decode_coarsen", decode_coarsen)
 
     tm = None
     if telemetry:
@@ -163,6 +183,7 @@ def build_consumer_rig(
             coordinator,
             name=f"{name_prefix}producer-{producer_model.name}",
             telemetry=tm,
+            decode_coarsen=decode_coarsen,
         )
         if use_aqua and consumer_lib is not None:
             coordinator.pair(consumer_lib.name, producer_lib.name)

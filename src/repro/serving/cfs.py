@@ -225,21 +225,44 @@ class CFSEngine(LLMEngineBase):
         slice_batch = len(self.running)
         seen: dict[int, Request] = {}
         try:
-            for _ in range(self.slice_tokens):
+            tokens_left = self.slice_tokens
+            while tokens_left > 0:
                 batch = list(self.running)
                 if not batch:
                     return
+                # Time-warp coarsening (see VLLMEngine._decode_step):
+                # fuse up to decode_coarsen of the slice's per-token
+                # steps into one aggregate compute event, clamped so no
+                # sequence finishes mid-window.  KV capacity for the
+                # whole slice was budgeted by _select_active, so the
+                # replayed appends cannot overflow.
+                k = 1
+                if self.decode_coarsen > 1:
+                    k = min(
+                        self.decode_coarsen,
+                        tokens_left,
+                        min(r.max_new_tokens - r.generated_tokens for r in batch),
+                    )
+                n = len(batch)
                 context = sum(r.total_tokens for r in batch)
-                step = self.model.decode_step_time(self.gpu.spec, len(batch), context)
+                if k == 1:
+                    step = self.model.decode_step_time(self.gpu.spec, n, context)
+                else:
+                    step_time = self.model.decode_step_time
+                    step = 0.0
+                    for s in range(k):
+                        step += step_time(self.gpu.spec, n, context + s * n)
                 yield from self.gpu.compute_op(step)
-                for request in batch:
-                    seen.setdefault(request.req_id, request)
-                    self.kv.append_token(request.req_id)
-                    self._finish_token(request)
-                    if request.done:
-                        yield from self._maybe_cache_context(request)
-                        self.running.remove(request)
-                        self.kv.release(request.req_id)
+                for _ in range(k):
+                    for request in batch:
+                        seen.setdefault(request.req_id, request)
+                        self.kv.append_token(request.req_id)
+                        self._finish_token(request)
+                        if request.done:
+                            yield from self._maybe_cache_context(request)
+                            self.running.remove(request)
+                            self.kv.release(request.req_id)
+                tokens_left -= k
         finally:
             if slice_batch and self.env.now > slice_started:
                 self.trace_span("slice", slice_started, batch=slice_batch)

@@ -120,17 +120,52 @@ class VLLMEngine(LLMEngineBase):
                 self.running.append(request)
 
     def _decode_step(self) -> Generator:
-        """One decode iteration for the whole running batch."""
+        """One decode iteration for the whole running batch.
+
+        With ``decode_coarsen > 1`` this becomes a *time-warp window*:
+        up to ``decode_coarsen`` iterations of the frozen batch are
+        charged as ONE aggregate compute event (the duration is the
+        exact sum of the per-step roofline times, so the clock advances
+        identically), and the per-token bookkeeping — KV appends,
+        preemptions, aborts, completions — is replayed at the window
+        end (*lazy repair*).  The window is clamped by
+        :meth:`LLMEngineBase._decode_window_len` so no sequence can
+        finish mid-window and no producer/sample boundary is skipped.
+        """
         batch = list(self.running)
+        k = 1 if self.decode_coarsen == 1 else self._decode_window_len(batch)
+        if k == 1:
+            context = sum(r.total_tokens for r in batch)
+            step = self.model.decode_step_time(self.gpu.spec, len(batch), context)
+            started = self.env.now
+            yield from self.gpu.compute_op(step)
+            self.trace_span("decode", started, batch=len(batch))
+            if self.telemetry is not None:
+                self.telemetry.decode_batch(self.name, len(batch))
+                self.attr_mark(batch, "decode_hbm")
+            yield from self._decode_bookkeeping(batch)
+            return
+
+        n = len(batch)
         context = sum(r.total_tokens for r in batch)
-        step = self.model.decode_step_time(self.gpu.spec, len(batch), context)
+        spec = self.gpu.spec
+        step_time = self.model.decode_step_time
+        duration = 0.0
+        for s in range(k):
+            # Each modelled step grows every sequence's context by one.
+            duration += step_time(spec, n, context + s * n)
         started = self.env.now
-        yield from self.gpu.compute_op(step)
-        self.trace_span("decode", started, batch=len(batch))
+        yield from self.gpu.compute_op(duration)
+        self.trace_span("decode-window", started, batch=n, steps=k)
         if self.telemetry is not None:
-            self.telemetry.decode_batch(self.name, len(batch))
+            for _ in range(k):
+                self.telemetry.decode_batch(self.name, n)
             self.attr_mark(batch, "decode_hbm")
-        yield from self._decode_bookkeeping(batch)
+        for _ in range(k):
+            yield from self._decode_bookkeeping(batch)
+        # The window stood in for k scheduler iterations; _serve's own
+        # increment accounts for the last one.
+        self.iteration += k - 1
 
     def _decode_bookkeeping(self, batch: list[Request]) -> Generator:
         """Account one generated token for every sequence in ``batch``."""

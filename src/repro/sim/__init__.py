@@ -34,16 +34,19 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.resources import PriorityResource, Resource, Store
+from repro.sim.schedulers import SCHEDULER_NAMES, CalendarQueue
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Environment",
     "Event",
     "Interrupt",
     "PriorityResource",
     "Process",
     "Resource",
+    "SCHEDULER_NAMES",
     "SimulationError",
     "Store",
     "Timeout",

@@ -10,7 +10,7 @@ saved per event adds up to ~30% at this call rate).  :meth:`step` keeps
 the one-event-at-a-time semantics for direct callers and must stay
 behaviourally identical to one iteration of the inlined loop.
 
-The schedule is a binary heap of ``(time, seq, event)`` entries where
+The schedule holds ``(time, seq, event)`` entries where
 ``seq = priority * _SEQ_STRIDE + eid`` folds the URGENT/NORMAL
 tie-break and the FIFO insertion counter into one integer: URGENT
 events sort before NORMAL events at the same timestamp, and within a
@@ -19,6 +19,16 @@ unreachable by any real event count, and the packed entry is one
 element smaller (and one comparison cheaper) than the previous
 ``(time, priority, eid, event)`` tuple.  :class:`~repro.sim.events.Timeout`
 and ``Event.succeed`` push entries inline with the same layout.
+
+The schedule *backend* is pluggable (``Environment(scheduler=...)``,
+see :mod:`repro.sim.schedulers`): the default ``"heap"`` keeps the
+original binary heap — ``_push``/``_pop`` bind the C
+:func:`heapq.heappush`/:func:`heapq.heappop` directly, so the default
+path executes the exact same instructions as before the backend became
+selectable — while ``"calendar"`` swaps in a bucketed calendar queue
+for high-event-density rigs.  Every push site (here and the inlined
+ones in :mod:`repro.sim.events`) goes through ``env._push(env._queue,
+entry)``; both backends pop in the identical ``(time, seq)`` order.
 
 A process may ``yield`` a bare ``float`` instead of an
 :class:`~repro.sim.events.Timeout` — an anonymous sleep that schedules
@@ -38,10 +48,10 @@ digest in ``tests/test_determinism_golden.py``.
 from __future__ import annotations
 
 from functools import partial
-from heapq import heappop, heappush
 from types import MethodType
 from typing import Any, Callable, Optional
 
+from repro.sim.schedulers import resolve_scheduler
 from repro.sim.events import (
     PROCESSED,
     Event,
@@ -85,6 +95,11 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulation clock, in seconds.
+    scheduler:
+        Schedule backend: ``"heap"`` (default — the original binary
+        heap, byte-identical behaviour and performance), ``"calendar"``
+        (bucketed calendar queue for high event density), or a backend
+        instance (see :mod:`repro.sim.schedulers`).
 
     Notes
     -----
@@ -106,7 +121,11 @@ class Environment:
     __slots__ = (
         "_now",
         "_queue",
+        "_push",
+        "_pop",
+        "_scheduler_name",
         "_eid",
+        "_events_processed",
         "_active_process",
         "_monitors",
         "event",
@@ -114,10 +133,18 @@ class Environment:
         "process",
     )
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, scheduler: Any = "heap") -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
+        # ``_push(queue, entry)`` / ``_pop(queue)``: for the default
+        # heap backend these are the C heappush/heappop, so the hot
+        # loops below execute exactly what they did when the heap was
+        # hard-wired.  Must be bound before ``_timeout_factory``, which
+        # captures ``_push`` and ``_queue`` once.
+        self._queue, self._push, self._pop, self._scheduler_name = (
+            resolve_scheduler(scheduler)
+        )
         self._eid = 0
+        self._events_processed = 0
         self._active_process: Optional[Process] = None
         #: Per-event observers (see :meth:`add_monitor`).  Empty in the
         #: common case, so the event loop pays one truthiness check.
@@ -140,23 +167,32 @@ class Environment:
         return self._active_process
 
     @property
+    def scheduler(self) -> str:
+        """Name of the schedule backend (``"heap"``, ``"calendar"``, …)."""
+        return self._scheduler_name
+
+    @property
     def events_processed(self) -> int:
         """Lifetime count of events this environment has retired.
 
-        Derived from the schedule itself — every entry that was ever
-        pushed (``_eid`` of them) has either been popped or is still
-        pending — so the event loop pays nothing per event for it.  The
-        benchmark harness (:mod:`repro.benchmarks`) divides this by
-        wall-clock time to report kernel events/sec.
+        An explicit counter maintained by the event loop.  (It was
+        previously derived as ``_eid - len(self._queue)``, which
+        overcounts cancelled/defused events that were never popped and
+        assumes the schedule is the builtin list — wrong on both counts
+        under a pluggable backend.)  The hot loops in :meth:`run`
+        accumulate it in a local and flush in a ``finally`` block, so
+        the value is only guaranteed current between :meth:`run` /
+        :meth:`step` calls — which is when the benchmark harness
+        (:mod:`repro.benchmarks`) reads it to report kernel events/sec.
         """
-        return self._eid - len(self._queue)
+        return self._events_processed
 
     # ------------------------------------------------------------------
     # Scheduling and execution
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         self._eid = eid = self._eid + 1
-        heappush(
+        self._push(
             self._queue, (self._now + delay, priority * _SEQ_STRIDE + eid, event)
         )
 
@@ -188,9 +224,10 @@ class Environment:
             If no events remain.
         """
         try:
-            self._now, _, event = heappop(self._queue)
+            self._now, _, event = self._pop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        self._events_processed += 1
 
         if event.__class__ is MethodType:
             # Bare-delay sleep: the entry is the process's resume
@@ -246,49 +283,96 @@ class Environment:
         # checks.  Each must stay behaviourally identical to
         # `while True: self.step()` plus the docstring's stop checks.
         queue = self._queue
-        pop = heappop
+        pop = self._pop
         monitors = self._monitors  # mutated in place, never rebound
         processed = PROCESSED
         mtype = MethodType
         ok_none = _OK_NONE
+        # The retirement counter accumulates in a local (one int add per
+        # event instead of an attribute RMW) and flushes in ``finally``
+        # so it stays exact even when a callback raises out of the loop.
+        n_done = self._events_processed
 
         if stop_event is None and stop_time == _INF:
             # Run until the schedule drains.
-            while queue:
-                self._now, _, event = pop(queue)
-                if event.__class__ is mtype:
-                    # Bare-delay sleep: the entry is the process's
-                    # resume callback itself.
-                    event(ok_none)
+            try:
+                while queue:
+                    self._now, _, event = pop(queue)
+                    n_done += 1
+                    if event.__class__ is mtype:
+                        # Bare-delay sleep: the entry is the process's
+                        # resume callback itself.
+                        event(ok_none)
+                        if monitors:
+                            now = self._now
+                            for monitor in monitors:
+                                monitor(now)
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:  # single waiter: skip iterator setup
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    event._state = processed
                     if monitors:
                         now = self._now
                         for monitor in monitors:
                             monitor(now)
-                    continue
-                callbacks = event.callbacks
-                event.callbacks = None
-                if len(callbacks) == 1:  # single waiter: skip iterator setup
-                    callbacks[0](event)
-                else:
-                    for callback in callbacks:
-                        callback(event)
-                event._state = processed
-                if monitors:
-                    now = self._now
-                    for monitor in monitors:
-                        monitor(now)
-                if not event._ok and not event._defused:
-                    # A failure nobody waited for: surface it to the caller.
-                    raise event._value
+                    if not event._ok and not event._defused:
+                        # A failure nobody waited for: surface it to the caller.
+                        raise event._value
+            finally:
+                self._events_processed = n_done
             return None
 
         if stop_event is None:
             # Run until the clock reaches ``stop_time``.
-            while queue and queue[0][0] <= stop_time:
+            try:
+                while queue and queue[0][0] <= stop_time:
+                    self._now, _, event = pop(queue)
+                    n_done += 1
+                    if event.__class__ is mtype:
+                        # Bare-delay sleep: the entry is the process's
+                        # resume callback itself.
+                        event(ok_none)
+                        if monitors:
+                            now = self._now
+                            for monitor in monitors:
+                                monitor(now)
+                        continue
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:  # single waiter: skip iterator setup
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    event._state = processed
+                    if monitors:
+                        now = self._now
+                        for monitor in monitors:
+                            monitor(now)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            finally:
+                self._events_processed = n_done
+            self._now = stop_time
+            return None
+
+        # Run until ``stop_event`` has been processed.
+        try:
+            while True:
+                if not queue:
+                    raise SimulationError(
+                        "simulation ended before the awaited event triggered"
+                    ) from None
                 self._now, _, event = pop(queue)
+                n_done += 1
                 if event.__class__ is mtype:
-                    # Bare-delay sleep: the entry is the process's
-                    # resume callback itself.
+                    # Bare-delay sleep: cannot process ``stop_event``, so the
+                    # end-of-loop stop check is safely skipped too.
                     event(ok_none)
                     if monitors:
                         now = self._now
@@ -309,43 +393,12 @@ class Environment:
                         monitor(now)
                 if not event._ok and not event._defused:
                     raise event._value
-            self._now = stop_time
-            return None
-
-        # Run until ``stop_event`` has been processed.
-        while True:
-            if not queue:
-                raise SimulationError(
-                    "simulation ended before the awaited event triggered"
-                ) from None
-            self._now, _, event = pop(queue)
-            if event.__class__ is mtype:
-                # Bare-delay sleep: cannot process ``stop_event``, so the
-                # end-of-loop stop check is safely skipped too.
-                event(ok_none)
-                if monitors:
-                    now = self._now
-                    for monitor in monitors:
-                        monitor(now)
-                continue
-            callbacks = event.callbacks
-            event.callbacks = None
-            if len(callbacks) == 1:  # single waiter: skip iterator setup
-                callbacks[0](event)
-            else:
-                for callback in callbacks:
-                    callback(event)
-            event._state = processed
-            if monitors:
-                now = self._now
-                for monitor in monitors:
-                    monitor(now)
-            if not event._ok and not event._defused:
-                raise event._value
-            if stop_event._state == processed:
-                if not stop_event._ok:
-                    raise stop_event._value
-                return stop_event._value
+                if stop_event._state == processed:
+                    if not stop_event._ok:
+                        raise stop_event._value
+                    return stop_event._value
+        finally:
+            self._events_processed = n_done
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now} pending={len(self._queue)}>"

@@ -21,14 +21,16 @@ keep it fast, locked down by ``tests/test_determinism_golden.py`` and
 * :meth:`Process._resume` keeps the generator trampoline flat, with the
   pending-target wait as the first branch.
 
-The inlined scheduling writes ``env._eid``/``env._queue`` directly; the
-entry layout is owned by :mod:`repro.sim.core` (see ``_SEQ_STRIDE``
-there) and must stay in sync.
+The inlined scheduling writes ``env._eid``/``env._queue`` directly via
+``env._push`` (the schedule backend's push, bound once in
+``Environment.__init__`` — the C ``heappush`` for the default heap
+backend, so nothing is lost over calling it directly); the entry layout
+is owned by :mod:`repro.sim.core` (see ``_SEQ_STRIDE`` there) and must
+stay in sync.
 """
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -127,7 +129,7 @@ class Event:
         self._state = TRIGGERED
         env = self.env
         env._eid = eid = env._eid + 1
-        heappush(env._queue, (env._now, _NORMAL_SEQ + eid, self))
+        env._push(env._queue, (env._now, _NORMAL_SEQ + eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -189,7 +191,7 @@ class Timeout(Event):
         self._state = TRIGGERED
         self.delay = delay
         env._eid = eid = env._eid + 1
-        heappush(env._queue, (env._now + delay, _NORMAL_SEQ + eid, self))
+        env._push(env._queue, (env._now + delay, _NORMAL_SEQ + eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -207,7 +209,7 @@ def _timeout_factory(env: "Environment") -> Callable[..., Timeout]:
     queue = env._queue  # bound once; Environment never rebinds it
     tnew = Timeout.__new__
     cls = Timeout
-    push = heappush
+    push = env._push  # backend push; heappush for the default heap
     nseq = _NORMAL_SEQ
     triggered = TRIGGERED
 
@@ -365,7 +367,7 @@ class Process(Event):
                     event._state = TRIGGERED
                     continue
                 env._eid = eid = env._eid + 1
-                heappush(
+                env._push(
                     env._queue, (env._now + target, _NORMAL_SEQ + eid, self._resume_cb)
                 )
                 self._target = _BARE_SLEEP

@@ -27,6 +27,23 @@ def test_quick_run_is_schema_valid(quick_kernel_doc):
     assert quick_kernel_doc["baseline"]["kernel_events_per_s"] == 531_646
 
 
+def test_kernel_doc_records_coarsened_companion_metrics(quick_kernel_doc):
+    """BENCH artifacts carry raw events AND modelled token-steps (PR 7):
+    coarsening deflates events/s by design, so the artifact records both
+    bases and the gate only ever compares the raw one."""
+    from repro.benchmarks.scenarios import KERNEL_COARSEN
+
+    kernel = quick_kernel_doc["scenarios"]["kernel"]
+    assert kernel["scheduler"] == "heap"
+    assert kernel["coarsen"] == KERNEL_COARSEN > 1
+    assert kernel["token_steps"] == 100 * 60  # quick: 100 procs x 60 hops
+    assert kernel["token_steps_per_s"] > 0
+    # The coarse companion modelled the same horizon in far fewer events.
+    assert kernel["coarse_events"] < kernel["events"]
+    assert kernel["coarse_wall_s_best"] > 0
+    assert quick_kernel_doc["scheduler"] == "heap"
+
+
 def test_unknown_scenario_rejected():
     with pytest.raises(KeyError, match="no-such-scenario"):
         benchmarks.run_bench(["no-such-scenario"], quick=True)
@@ -83,6 +100,26 @@ def test_comparator_tolerates_small_slowdown_and_speedups():
         assert regressions == []
 
 
+def test_comparator_skips_mismatched_scheduler_without_gating():
+    """Raw events/s across schedule backends is an A/B comparison, not a
+    regression signal: the gate must report and skip, never fail."""
+    current, baseline = _doc_with_kernel(50_000.0), _doc_with_kernel(100_000.0)
+    current["scenarios"]["kernel"]["scheduler"] = "calendar"
+    regressions, lines = benchmarks.compare_bench(current, baseline, tolerance=0.10)
+    assert regressions == []
+    assert any("not like-for-like" in line for line in lines)
+
+
+def test_comparator_treats_missing_scheduler_field_as_heap():
+    """Pre-PR-7 artifacts carry no scheduler field; they gate normally
+    against a heap-backend run."""
+    current, baseline = _doc_with_kernel(80_000.0), _doc_with_kernel(100_000.0)
+    current["scenarios"]["kernel"]["scheduler"] = "heap"
+    # baseline has no scheduler key at all.
+    regressions, _ = benchmarks.compare_bench(current, baseline, tolerance=0.10)
+    assert len(regressions) == 1
+
+
 def test_comparator_reports_scenario_mismatches_without_gating():
     current, baseline = _doc_with_kernel(100_000.0), _doc_with_kernel(100_000.0)
     baseline["scenarios"]["cluster"] = {"sim_s_per_wall_s": 10.0}
@@ -124,6 +161,18 @@ def test_cli_bench_baseline_gate_exits_nonzero(tmp_path, quick_kernel_doc):
         ]
     )
     assert rc == 1
+
+
+def test_cli_bench_scheduler_flag_round_trips(tmp_path):
+    out = tmp_path / "BENCH_cal.json"
+    rc = cli_main(
+        ["bench", "kernel", "--quick", "--scheduler", "calendar", "--out", str(out)]
+    )
+    assert rc == 0
+    doc = benchmarks.load_bench(str(out))
+    assert doc["scheduler"] == "calendar"
+    assert doc["scenarios"]["kernel"]["scheduler"] == "calendar"
+    assert doc["scenarios"]["kernel"]["events_per_s"] > 0
 
 
 def test_cli_bench_list(capsys):

@@ -39,7 +39,7 @@ GOLDEN_DIGEST = "aea264f10e1ea0ab8fd45cebe675e0da3e5be2fa7d67274d8adc7f4d47530b9
 DURATION = 30.0
 
 
-def _run_scenario(telemetry: bool):
+def _run_scenario(telemetry: bool, scheduler: str = "heap"):
     """One seeded audited run; returns (digest, final-metrics dict)."""
     rig = build_consumer_rig(
         "flexgen",
@@ -48,6 +48,7 @@ def _run_scenario(telemetry: bool):
         use_aqua=True,
         audit=True,
         telemetry=telemetry,
+        scheduler=scheduler,
     )
     rig.start()
     submit_all(rig.env, rig.consumer_engine, long_prompt_requests(start=2.0))
@@ -89,6 +90,27 @@ def test_digest_with_telemetry_matches_golden():
     """Telemetry on is observation-only: identical digest to the golden."""
     digest, _ = _run_scenario(telemetry=True)
     assert digest == GOLDEN_DIGEST
+
+
+def test_digest_identical_under_calendar_scheduler():
+    """The calendar-queue backend (PR 7) is a pure schedule swap: the
+    audited event stream — and therefore the digest — must be bit-equal
+    to the heap backend's, which is itself pinned to the golden.  This
+    is the end-to-end companion of the per-entry ordering properties in
+    ``tests/test_sim_ordering.py``."""
+    digest, final = _run_scenario(telemetry=False, scheduler="calendar")
+    assert final["tokens"] > 0 and final["transfers_observed"] > 0
+    assert digest == GOLDEN_DIGEST, (
+        f"calendar scheduler diverged from the heap backend's event stream\n"
+        f"  got      {digest}\n  expected {GOLDEN_DIGEST}\n  final metrics: {final}"
+    )
+
+
+def test_both_schedulers_agree_on_final_metrics():
+    """Same digest is necessary; same observable outcome closes the loop."""
+    _, final_heap = _run_scenario(telemetry=False, scheduler="heap")
+    _, final_cal = _run_scenario(telemetry=False, scheduler="calendar")
+    assert final_heap == final_cal
 
 
 def test_identical_runs_bit_identical():

@@ -1,0 +1,160 @@
+"""Unit tests for the pluggable schedule backends.
+
+The ordering *contract* (calendar pops identical to the heap on
+adversarial entry mixes) is property-tested in
+``tests/test_sim_ordering.py``; this file covers the backend API
+itself: selection, the CalendarQueue container semantics, and the
+duck-typed custom-backend path.
+"""
+
+import pytest
+
+from repro.sim import CalendarQueue, Environment, SCHEDULER_NAMES
+from repro.sim.schedulers import resolve_scheduler
+
+
+# ---------------------------------------------------------------------------
+# Selection
+# ---------------------------------------------------------------------------
+def test_default_environment_uses_heap():
+    assert Environment().scheduler == "heap"
+    assert isinstance(Environment()._queue, list)
+
+
+def test_environment_scheduler_selection():
+    env = Environment(scheduler="calendar")
+    assert env.scheduler == "calendar"
+    assert isinstance(env._queue, CalendarQueue)
+
+
+def test_unknown_scheduler_name_rejected():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        Environment(scheduler="fibonacci")
+
+
+def test_scheduler_names_cover_both_backends():
+    assert SCHEDULER_NAMES == ("heap", "calendar")
+    for name in SCHEDULER_NAMES:
+        assert Environment(scheduler=name).scheduler == name
+
+
+def test_resolve_none_is_heap():
+    queue, push, pop, name = resolve_scheduler(None)
+    assert queue == [] and name == "heap"
+
+
+def test_custom_backend_instance_accepted():
+    """Any object with push/pop/len/head-index works as a backend."""
+
+    class ListBackend:
+        name = "sorted-list"
+
+        def __init__(self):
+            self.entries = []
+
+        def push(self, entry):
+            self.entries.append(entry)
+            self.entries.sort()
+
+        def pop(self):
+            return self.entries.pop(0)
+
+        def __len__(self):
+            return len(self.entries)
+
+        def __getitem__(self, index):
+            return self.entries[index]
+
+    env = Environment(scheduler=ListBackend())
+    assert env.scheduler == "sorted-list"
+    log = []
+
+    def proc(env, d):
+        yield env.timeout(d)
+        log.append(env.now)
+
+    env.process(proc(env, 2.0))
+    env.process(proc(env, 1.0))
+    env.run()
+    assert log == [1.0, 2.0]
+
+
+def test_backend_without_push_pop_rejected():
+    with pytest.raises(TypeError, match="push"):
+        Environment(scheduler=object())
+
+
+# ---------------------------------------------------------------------------
+# CalendarQueue container semantics
+# ---------------------------------------------------------------------------
+def entry(t, seq):
+    return (t, seq, f"ev-{seq}")
+
+
+def test_calendar_queue_pops_in_time_then_seq_order():
+    q = CalendarQueue()
+    for e in [entry(5.0, 1), entry(0.5, 3), entry(0.5, 2), entry(2.0, 4)]:
+        q.push(e)
+    popped = [q.pop() for _ in range(4)]
+    assert popped == [entry(0.5, 2), entry(0.5, 3), entry(2.0, 4), entry(5.0, 1)]
+
+
+def test_calendar_queue_len_bool_and_peek():
+    q = CalendarQueue()
+    assert len(q) == 0 and not q
+    q.push(entry(1.0, 1))
+    q.push(entry(0.25, 2))
+    assert len(q) == 2 and q
+    assert q[0] == entry(0.25, 2)  # peek promotes but does not remove
+    assert len(q) == 2
+    assert q.pop() == entry(0.25, 2)
+    assert len(q) == 1
+
+
+def test_calendar_queue_only_head_is_indexable():
+    q = CalendarQueue()
+    q.push(entry(1.0, 1))
+    with pytest.raises(IndexError):
+        q[1]
+
+
+def test_calendar_queue_pop_empty_raises_indexerror():
+    q = CalendarQueue()
+    with pytest.raises(IndexError):
+        q.pop()
+    q.push(entry(1.0, 1))
+    q.pop()
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_calendar_queue_push_into_draining_bucket_keeps_order():
+    """A push racing the bucket currently being drained (the zero-delay
+    wakeup case) must slot into the pending region in (time, seq) order."""
+    q = CalendarQueue(bucket_width=1.0)
+    for seq in (1, 2, 4):
+        q.push(entry(0.5, seq))
+    assert q.pop() == entry(0.5, 1)
+    # Same bucket, later seq than the already-popped head: must come out
+    # between seq 2 and seq 4.
+    q.push(entry(0.5, 3))
+    assert [q.pop() for _ in range(3)] == [
+        entry(0.5, 2), entry(0.5, 3), entry(0.5, 4)
+    ]
+
+
+def test_calendar_queue_invalid_bucket_width():
+    with pytest.raises(ValueError):
+        CalendarQueue(bucket_width=0.0)
+
+
+def test_calendar_queue_many_buckets_interleaved():
+    """Entries spread across many buckets pushed in shuffled order drain
+    globally sorted."""
+    q = CalendarQueue(bucket_width=0.001)
+    entries = [entry(0.001 * ((i * 7919) % 97), i) for i in range(300)]
+    for e in entries:
+        q.push(e)
+    drained = [q.pop() for _ in range(len(entries))]
+    assert drained == sorted(entries)
+    assert not q

@@ -11,6 +11,11 @@ from repro.sim import (
     SimulationError,
     Timeout,
 )
+from repro.sim.core import EmptySchedule
+
+#: Both schedule backends must satisfy every kernel contract below that
+#: is parametrized over this list.
+SCHEDULERS = ["heap", "calendar"]
 
 
 def test_clock_starts_at_zero():
@@ -419,3 +424,237 @@ def test_zero_delay_timeout_runs_at_same_time():
     p = env.process(proc(env))
     env.run()
     assert p.value == 0.0
+
+
+# ---------------------------------------------------------------------------
+# events_processed accounting.
+#
+# The counter is maintained explicitly by the event loop (it used to be
+# derived as ``_eid - len(self._queue)``, which miscounts whenever
+# scheduled entries outlive their usefulness — e.g. the stale wakeup of
+# an interrupted sleep — and assumes the schedule is the builtin list).
+# These tests pin the explicit semantics: one increment per retired
+# entry, exact across run()/step() mixes, failures, and both backends.
+# ---------------------------------------------------------------------------
+def _three_sleepers(env):
+    def proc(env, d):
+        yield env.timeout(d)
+
+    for d in (1.0, 1.0, 2.0):
+        env.process(proc(env, d))
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_events_processed_matches_manual_step_loop(scheduler):
+    auto = Environment(scheduler=scheduler)
+    _three_sleepers(auto)
+    auto.run()
+
+    manual = Environment(scheduler=scheduler)
+    _three_sleepers(manual)
+    steps = 0
+    while True:
+        try:
+            manual.step()
+        except EmptySchedule:
+            break
+        steps += 1
+    assert auto.events_processed == manual.events_processed == steps
+    assert auto.events_processed > 0
+
+
+def test_events_processed_ignores_pending_events():
+    """Scheduled-but-not-yet-retired entries must not count."""
+    env = Environment()
+    _three_sleepers(env)
+    env.run(until=1.5)
+    mid = env.events_processed
+    assert mid > 0
+    assert len(env._queue) > 0  # the d=2.0 wakeup is still scheduled
+    env.run()
+    # The remaining process retires its wakeup plus its terminal event.
+    assert env.events_processed == mid + 2
+
+
+def test_events_processed_counts_stale_wakeup_of_interrupted_sleep():
+    """An interrupt strands the victim's original wakeup in the queue;
+    the entry is still retired (and counted) when its time comes."""
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+
+    def interrupter(env, victim):
+        yield env.timeout(1)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run(until=2.0)
+    mid = env.events_processed
+    # Only the stale t=100 wakeup remains.
+    assert len(env._queue) == 1
+    env.run()
+    assert env.now == 100.0
+    assert env.events_processed == mid + 1
+
+
+def test_events_processed_counts_defused_failure():
+    """A failure somebody waited for (defused) still retires its event."""
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def parent(env):
+        try:
+            yield env.process(bad(env))
+        except ValueError:
+            pass
+
+    env.process(parent(env))
+    env.run()
+    witness = Environment()
+
+    def good(env):
+        yield env.timeout(1)
+
+    def watcher(env):
+        yield env.process(good(env))
+
+    witness.process(watcher(witness))
+    witness.run()
+    # Failure vs success of the child changes nothing about the count.
+    assert env.events_processed == witness.events_processed
+
+
+def test_events_processed_exact_when_callback_raises():
+    """The loop flushes its local counter on the way out of a raising
+    run(), so the failing event itself is already counted."""
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("bad")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="bad"):
+        env.run()
+    counted = env.events_processed
+    assert counted > 0
+    # Nothing left to do; the count is stable.
+    env.run()
+    assert env.events_processed == counted
+
+
+def test_events_processed_step_and_run_agree():
+    """Mixing step() with run() keeps one shared, exact counter."""
+    env = Environment()
+    _three_sleepers(env)
+    env.step()
+    env.step()
+    after_steps = env.events_processed
+    assert after_steps == 2
+    env.run()
+    total = env.events_processed
+
+    ref = Environment()
+    _three_sleepers(ref)
+    ref.run()
+    assert total == ref.events_processed
+
+
+# ---------------------------------------------------------------------------
+# run(until=<number>) boundary semantics.
+#
+# The contract: the clock lands exactly on ``until`` whether the queue
+# drains early or the next event lies beyond it, and events scheduled
+# exactly at ``until`` are processed identically to a manual
+# peek()/step() loop.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_run_until_lands_on_until_when_queue_drains_early(scheduler):
+    env = Environment(scheduler=scheduler)
+
+    def proc(env):
+        yield env.timeout(3)
+
+    env.process(proc(env))
+    env.run(until=10)
+    assert env.now == 10.0
+    assert len(env._queue) == 0
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_run_until_lands_on_until_when_next_event_is_beyond(scheduler):
+    env = Environment(scheduler=scheduler)
+    log = []
+
+    def proc(env, d):
+        yield env.timeout(d)
+        log.append(env.now)
+
+    env.process(proc(env, 3))
+    env.process(proc(env, 20))
+    env.run(until=10)
+    assert env.now == 10.0
+    assert log == [3.0]
+    env.run()
+    assert log == [3.0, 20.0]
+    assert env.now == 20.0
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_run_until_processes_events_exactly_at_until(scheduler):
+    """Events at t == until fire inside run(until), including zero-delay
+    chains they spawn at that same timestamp."""
+    env = Environment(scheduler=scheduler)
+    log = []
+
+    def proc(env):
+        yield env.timeout(5.0)
+        log.append(("wake", env.now))
+        yield env.timeout(0.0)
+        log.append(("chained", env.now))
+
+    env.process(proc(env))
+    env.run(until=5.0)
+    assert log == [("wake", 5.0), ("chained", 5.0)]
+    assert env.now == 5.0
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_run_until_matches_manual_step_loop(scheduler):
+    """Differential: run(until=T) retires exactly the events a manual
+    ``while peek() <= T: step()`` loop retires, in the same order."""
+    STOP = 5.0
+
+    def build():
+        env = Environment(scheduler=scheduler)
+        log = []
+
+        def proc(env, i, d):
+            yield env.timeout(d)
+            log.append((i, env.now))
+
+        for i, d in enumerate([1.0, 5.0, 5.0, 9.0]):
+            env.process(proc(env, i, d))
+        return env, log
+
+    auto, auto_log = build()
+    auto.run(until=STOP)
+
+    manual, manual_log = build()
+    while manual.peek() <= STOP:
+        manual.step()
+
+    assert auto_log == manual_log == [(0, 1.0), (1, 5.0), (2, 5.0)]
+    assert auto.events_processed == manual.events_processed
+    # The only divergence is by design: run() advances the clock to the
+    # stop time, the manual loop leaves it at the last retired event.
+    assert auto.now == STOP
+    assert manual.now == 5.0
