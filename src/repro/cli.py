@@ -237,7 +237,12 @@ def cmd_resilience(args) -> int:
 
     schedule = FaultSchedule.from_file(args.faults) if args.faults else None
     result = resilience_experiment(
-        schedule=schedule, duration=args.duration, audit=args.audit, jobs=args.jobs
+        schedule=schedule,
+        duration=args.duration,
+        audit=args.audit,
+        jobs=args.jobs,
+        scrape_interval=_resolve_scrape_interval(args),
+        postmortem_dir=args.postmortem_dir,
     )
     print("Resilience: goodput under faults (FlexGen consumer, LLM producer)")
     for entry in result["fault_log"]:
@@ -270,6 +275,10 @@ def cmd_resilience(args) -> int:
     if args.trace:
         result["tracer"].export_json(args.trace)
         print(f"trace written to {args.trace}")
+    if result.get("observability") is not None:
+        _print_observability(
+            result["observability"], args.dashboard, result.get("dashboard_data")
+        )
     if args.audit:
         return _print_audit_reports(result["audit"])
     return 0
@@ -324,7 +333,12 @@ def cmd_observe(args) -> int:
     from repro.experiments.observe import observe_experiment
     from repro.telemetry import COMPONENTS
 
-    result = observe_experiment(duration=args.duration, faults=not args.no_faults)
+    result = observe_experiment(
+        duration=args.duration,
+        faults=not args.no_faults,
+        scrape_interval=_resolve_scrape_interval(args),
+        postmortem_dir=args.postmortem_dir,
+    )
     rep = result["report"]
 
     print(f"Observe: telemetered offloading run ({args.duration:.0f}s simulated)")
@@ -361,6 +375,10 @@ def cmd_observe(args) -> int:
         with open(args.report, "w") as fh:
             json.dump(rep, fh, indent=2)
         print(f"attribution report written to {args.report}")
+    if "observability" in result:
+        _print_observability(
+            result["observability"], args.dashboard, result.get("dashboard_data")
+        )
     return 0
 
 
@@ -568,7 +586,71 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> argparse.ArgumentPar
     parser.add_argument(
         "--trace", metavar="trace.json", help="write a Chrome trace of the run"
     )
+    return _add_observability_arguments(parser)
+
+
+def _add_observability_arguments(
+    parser: argparse.ArgumentParser,
+) -> argparse.ArgumentParser:
+    """Uniform ``--scrape-interval`` / ``--dashboard`` observability flags.
+
+    ``resilience`` and ``observe`` handle the flags themselves (their
+    experiments return observability exports directly); every other
+    command gets an ambient :func:`repro.telemetry.capture_observability`
+    wrapped around the run by :func:`main`.  Like ``--trace``, the
+    ambient spec does not cross process boundaries — combine with
+    ``--jobs 1`` on pooled commands to scrape the rigs in-process.
+    """
+    parser.add_argument(
+        "--scrape-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="scrape metrics into time series every N simulated seconds "
+        "(enables the SLO tracker and flight recorder)",
+    )
+    parser.add_argument(
+        "--dashboard",
+        metavar="out.html",
+        help="write a self-contained HTML dashboard of the scraped run "
+        "(implies --scrape-interval 1.0 unless set)",
+    )
     return parser
+
+
+def _resolve_scrape_interval(args) -> Optional[float]:
+    """``--dashboard`` without ``--scrape-interval`` implies 1 s scrapes."""
+    if args.scrape_interval is not None:
+        return args.scrape_interval
+    return 1.0 if args.dashboard else None
+
+
+def _print_observability(obs: dict, dashboard_path: Optional[str],
+                         dashboard_data: Optional[dict]) -> None:
+    """Shared alert/bundle summary + dashboard export for CLI handlers."""
+    slo = obs.get("slo")
+    if slo is not None:
+        alerts = slo.get("alerts", [])
+        print(f"SLO burn-rate alerts: {len(alerts)}")
+        for alert in alerts:
+            print(
+                f"  t={alert['t']:7.2f}  {alert['slo']} [{alert['severity']}] "
+                f"burn {alert['burn_long']:.1f}x/{alert['burn_short']:.1f}x"
+            )
+    recorder = obs.get("recorder")
+    if recorder is not None:
+        for bundle in recorder.get("bundles", []):
+            where = bundle.get("path", "(in memory)")
+            print(
+                f"  post-mortem #{bundle['seq']} at t={bundle['t']:.2f} "
+                f"({bundle['reason']}): {where}"
+            )
+    if dashboard_path and dashboard_data is not None:
+        from repro.telemetry import render_dashboard
+
+        with open(dashboard_path, "w") as fh:
+            fh.write(render_dashboard(dashboard_data))
+        print(f"dashboard written to {dashboard_path}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -642,6 +724,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the conservation audit alongside; non-zero exit on violations",
     )
+    p.add_argument(
+        "--postmortem-dir",
+        metavar="DIR",
+        help="write flight-recorder post-mortem bundles here "
+        "(requires --scrape-interval)",
+    )
 
     p = sub.add_parser(
         "observe",
@@ -663,6 +751,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-faults",
         action="store_true",
         help="skip the demo DMA-stall injection",
+    )
+    p.add_argument(
+        "--postmortem-dir",
+        metavar="DIR",
+        help="write flight-recorder post-mortem bundles here "
+        "(requires --scrape-interval)",
     )
 
     p = sub.add_parser(
@@ -776,23 +870,61 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    from contextlib import ExitStack
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
         for name in sorted(COMMANDS):
             print(name)
         return 0
-    trace_path = getattr(args, "trace", None)
-    if trace_path and args.command not in ("resilience", "observe"):
-        # These handlers don't know about tracing; an ambient capture
-        # picks up every engine the run builds (see capture_trace).
-        from repro.telemetry import capture_trace
+    # resilience/observe thread the uniform flags through their
+    # experiments themselves; every other command gets ambient captures
+    # wrapped around the run (see capture_trace/capture_observability).
+    ambient = args.command not in ("resilience", "observe")
+    trace_path = getattr(args, "trace", None) if ambient else None
+    scrape_interval = (
+        _resolve_scrape_interval(args)
+        if ambient and hasattr(args, "scrape_interval")
+        else None
+    )
+    obs_spec = None
+    with ExitStack() as stack:
+        if trace_path:
+            from repro.telemetry import capture_trace
 
-        with capture_trace(trace_path):
-            rc = COMMANDS[args.command](args)
-        print(f"trace written to {trace_path}")
-    else:
+            stack.enter_context(capture_trace(trace_path))
+        if scrape_interval is not None:
+            from repro.telemetry import capture_observability
+            from repro.telemetry.slo import default_slo_policy
+
+            obs_spec = stack.enter_context(
+                capture_observability(
+                    scrape_interval=scrape_interval,
+                    slo_policy=default_slo_policy(),
+                )
+            )
         rc = COMMANDS[args.command](args)
+    if trace_path:
+        print(f"trace written to {trace_path}")
+    if obs_spec is not None:
+        hubs = obs_spec["hubs"]
+        if not hubs:
+            print(
+                "observability: no rig ran in-process (pooled commands "
+                "need --jobs 1 for --scrape-interval/--dashboard)"
+            )
+        else:
+            # Several rigs may have adopted the spec (multi-system
+            # figures); summarise and chart the busiest one.
+            from repro.telemetry.dashboard import dashboard_data
+
+            hub = max(hubs, key=lambda h: h.scraper.scrapes)
+            _print_observability(
+                hub.observability_report(),
+                args.dashboard,
+                dashboard_data(hub, title=f"aqua-repro {args.command}"),
+            )
     return int(rc or 0)
 
 

@@ -21,7 +21,7 @@ from repro.models.diffusion import DiffusionSpec
 from repro.models.llm import LLMSpec
 from repro.serving import BatchEngine, CFSEngine, FlexGenEngine, LoRACache, VLLMEngine
 from repro.sim import Environment
-from repro.telemetry import Telemetry, active_capture_tracer
+from repro.telemetry import Telemetry, active_capture_tracer, active_observability
 
 ProducerSpec = Union[DiffusionSpec, AudioModelSpec, LLMSpec]
 
@@ -97,6 +97,9 @@ def build_consumer_rig(
     audit: bool = False,
     audit_interval: float = 1.0,
     telemetry: bool = False,
+    scrape_interval: Optional[float] = None,
+    slo_policy=None,
+    postmortem_dir: Optional[str] = None,
     scheduler: str = "heap",
     decode_coarsen: int = 1,
 ) -> ConsumerRig:
@@ -128,6 +131,20 @@ def build_consumer_rig(
         and AQUA-LIB instances.  Available as ``rig.telemetry``; see
         ``docs/observability.md``.  Off by default — a disabled rig has
         bit-identical behaviour (audit digests are unchanged).
+    scrape_interval:
+        When set (and ``telemetry`` is on), attach the time-resolved
+        observability layer — metric scraper, optional SLO tracker,
+        flight recorder — via
+        :meth:`~repro.telemetry.Telemetry.attach_observability`.
+        ``None`` defers to an ambient
+        :func:`~repro.telemetry.capture_observability` spec, if one is
+        active.  The layer is observation-only: audit digests are
+        identical with it on or off.
+    slo_policy:
+        Optional :class:`~repro.telemetry.SLOPolicy` evaluated at each
+        scrape tick (requires ``scrape_interval`` or an ambient spec).
+    postmortem_dir:
+        Directory for flight-recorder post-mortem bundles.
     scheduler:
         Kernel schedule backend for the rig's :class:`Environment`
         (``"heap"`` default, ``"calendar"`` for high event density; see
@@ -156,11 +173,30 @@ def build_consumer_rig(
     if decode_coarsen != 1:
         kwargs.setdefault("decode_coarsen", decode_coarsen)
 
+    # Explicit observability settings win; otherwise an ambient
+    # capture_observability() spec (the CLI's --scrape-interval) applies
+    # to every rig built inside it — enabling telemetry if the caller
+    # didn't ask for it, which is safe because the whole layer is
+    # observation-only (audit digests are unchanged either way).
+    ambient = active_observability()
+    if scrape_interval is None and ambient is not None:
+        scrape_interval = ambient["scrape_interval"]
+        slo_policy = slo_policy or ambient["slo_policy"]
+        postmortem_dir = postmortem_dir or ambient["postmortem_dir"]
+
     tm = None
-    if telemetry:
+    if telemetry or scrape_interval is not None:
         tm = Telemetry(env)
         tm.attach_server(server)
         coordinator.telemetry = tm
+        if scrape_interval is not None:
+            tm.attach_observability(
+                scrape_interval=scrape_interval,
+                slo_policy=slo_policy,
+                postmortem_dir=postmortem_dir,
+            )
+            if ambient is not None:
+                ambient["hubs"].append(tm)
 
     consumer_lib = None
     if use_aqua or consumer_kind == "flexgen":

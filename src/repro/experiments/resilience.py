@@ -69,18 +69,38 @@ def _run_rig(
     workload_start: float,
     sample_dt: float,
     audit: bool = False,
+    scrape_interval: Optional[float] = None,
+    slo_policy: Optional[dict] = None,
+    postmortem_dir: Optional[str] = None,
 ) -> dict:
     """One rig run under ``schedule``; returns raw series and counters."""
     tracer = Tracer()
+    observability = scrape_interval is not None
+    policy = None
+    if observability:
+        from repro.telemetry.slo import SLOPolicy, default_slo_policy
+
+        policy = (
+            SLOPolicy.from_dict(slo_policy)
+            if slo_policy is not None
+            else default_slo_policy()
+        )
     rig = build_consumer_rig(
-        "flexgen", OPT_30B, producer_model=LLAMA2_13B, use_aqua=True, audit=audit
+        "flexgen", OPT_30B, producer_model=LLAMA2_13B, use_aqua=True, audit=audit,
+        telemetry=observability,
+        scrape_interval=scrape_interval,
+        slo_policy=policy,
+        postmortem_dir=postmortem_dir,
     )
     env = rig.env
     consumer = rig.consumer_engine
     consumer.tracer = tracer
     rig.consumer_lib.tracer = tracer
 
-    injector = FaultInjector(rig.server, coordinator=rig.coordinator, tracer=tracer)
+    injector = FaultInjector(
+        rig.server, coordinator=rig.coordinator, tracer=tracer,
+        telemetry=rig.telemetry,
+    )
     injector.install(schedule)
     rig.start()
 
@@ -110,7 +130,7 @@ def _run_rig(
         for r in requests
         if not r.done and r not in consumer.waiting and r not in consumer.running
     ]
-    return {
+    result = {
         "goodput": goodput,
         "retries": rig.consumer_lib.retries,
         "requeues": consumer.metrics.requeues,
@@ -121,6 +141,15 @@ def _run_rig(
         "tracer": tracer,
         "audit": audit_report,
     }
+    if observability:
+        from repro.telemetry.dashboard import dashboard_data
+
+        # Plain dicts only: this result pickles back from pooled workers.
+        result["observability"] = rig.telemetry.observability_report()
+        result["dashboard_data"] = dashboard_data(
+            rig.telemetry, title="Aqua resilience run", duration=duration
+        )
+    return result
 
 
 def _rig_cell(
@@ -129,12 +158,16 @@ def _rig_cell(
     workload_start: float,
     sample_dt: float,
     audit: bool,
+    scrape_interval: Optional[float] = None,
+    slo_policy: Optional[dict] = None,
+    postmortem_dir: Optional[str] = None,
 ) -> dict:
     """Pool-safe wrapper around :func:`_run_rig`.
 
-    The schedule travels as its plain-dict JSON form and the result —
-    goodput series, counters, tracer, audit report — pickles back to
-    the parent, so the faulted and control runs can occupy two cores.
+    The schedule travels as its plain-dict JSON form (the SLO policy
+    likewise) and the result — goodput series, counters, tracer, audit
+    report, observability exports — pickles back to the parent, so the
+    faulted and control runs can occupy two cores.
     """
     return _run_rig(
         FaultSchedule.from_dicts(schedule),
@@ -142,6 +175,9 @@ def _rig_cell(
         workload_start,
         sample_dt,
         audit=audit,
+        scrape_interval=scrape_interval,
+        slo_policy=slo_policy,
+        postmortem_dir=postmortem_dir,
     )
 
 
@@ -155,6 +191,9 @@ def resilience_experiment(
     recovery_threshold: float = 0.95,
     audit: bool = False,
     jobs: Optional[int] = 1,
+    scrape_interval: Optional[float] = None,
+    slo_policy=None,
+    postmortem_dir: Optional[str] = None,
 ) -> dict:
     """Run the fault schedule against the FlexGen/NVLink rig.
 
@@ -190,6 +229,20 @@ def resilience_experiment(
         processes concurrently (they are fully independent simulations);
         ``jobs=1`` keeps the historical serial order.  Results are
         identical either way.
+    scrape_interval:
+        When set, both rigs run with the time-resolved observability
+        layer (scraper + SLO tracker + flight recorder) at this cadence.
+        The faulted run's SLO alerts, post-mortem bundles and dashboard
+        data are returned under ``"observability"`` /
+        ``"dashboard_data"``.  Observation-only: the goodput series and
+        audit digests are unchanged.
+    slo_policy:
+        :class:`~repro.telemetry.SLOPolicy` (or its dict form) to
+        evaluate; defaults to
+        :func:`~repro.telemetry.default_slo_policy`.
+    postmortem_dir:
+        Directory where the faulted run's flight recorder writes
+        post-mortem bundles (the control run records in memory only).
 
     Returns a dict with the goodput series of both runs (tokens/s),
     the fault log, ``pre_fault_goodput`` / ``post_fault_goodput`` /
@@ -198,6 +251,8 @@ def resilience_experiment(
     ``requeues`` / ``lost_tensors`` / ``dropped_requests`` counters.
     """
     schedule = schedule if schedule is not None else default_fault_schedule()
+    if slo_policy is not None and not isinstance(slo_policy, dict):
+        slo_policy = slo_policy.to_dict()
     specs = [
         RunSpec(
             task=f"{__name__}:_rig_cell",
@@ -207,6 +262,12 @@ def resilience_experiment(
                 "workload_start": workload_start,
                 "sample_dt": sample_dt,
                 "audit": audit,
+                "scrape_interval": scrape_interval,
+                "slo_policy": slo_policy,
+                # Only the faulted run dumps bundles to disk — the
+                # control is healthy by construction and two workers
+                # must not race on the same postmortem-NNN.json names.
+                "postmortem_dir": postmortem_dir if label == "faulted" else None,
             },
             label=label,
         )
@@ -256,6 +317,9 @@ def resilience_experiment(
         "control_tokens_total": control["tokens_total"],
         "fault_log": faulted["fault_log"],
         "tracer": faulted["tracer"],
+        "observability": faulted.get("observability"),
+        "control_observability": control.get("observability"),
+        "dashboard_data": faulted.get("dashboard_data"),
         "audit": (
             {
                 "faulted": faulted["audit"].to_dict(),

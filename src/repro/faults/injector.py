@@ -224,7 +224,7 @@ class FaultInjector:
             {"t": self.env.now, "event": f"{fault.kind}:{phase}", "target": names}
         )
         if self.telemetry is not None:
-            self.telemetry.record_fault(fault.kind, phase)
+            self.telemetry.record_fault(fault.kind, phase, targets=names)
         if self.tracer is not None:
             self.tracer.add_instant(
                 f"{fault.kind}:{phase}", "faults", time=self.env.now, targets=names

@@ -47,10 +47,18 @@ class TimeSeries:
     values: list[float] = field(default_factory=list)
 
     def append(self, time: float, value: float) -> None:
+        """Append one sample; ``time`` must not precede the last sample.
+
+        Equal timestamps are legal (several samplers can fire in one
+        event).  Going backwards raises rather than clamps: the binary
+        searches in :meth:`window_sum` silently return wrong windows on
+        an unsorted series, so a non-monotonic append is always a bug
+        worth surfacing at the call site.
+        """
         if self.times and time < self.times[-1]:
             raise ValueError(
-                f"time series {self.name!r} must be appended in order "
-                f"({time} < {self.times[-1]})"
+                f"non-monotonic append to time series {self.name!r}: "
+                f"t={time} precedes last sample t={self.times[-1]}"
             )
         self.times.append(time)
         self.values.append(value)
@@ -62,7 +70,13 @@ class TimeSeries:
         return self.values[-1] if self.values else None
 
     def window_sum(self, start: float, end: float) -> float:
-        """Sum of values sampled in ``[start, end)``.
+        """Sum of values sampled in the half-open window ``[start, end)``.
+
+        Boundary semantics are exact: samples at ``t == start`` are
+        included, samples at ``t == end`` are excluded, so adjacent
+        windows ``[a, b)`` and ``[b, c)`` partition the series with no
+        double counting (pinned by regression tests in
+        ``tests/test_metrics.py``).
 
         ``append`` enforces time order, so the window is located with
         two binary searches instead of scanning the whole series —

@@ -13,13 +13,35 @@ three pillars, all reachable from one :class:`Telemetry` hub:
   :class:`~repro.trace.Tracer`, linking one request's spans across
   engine, AQUA and DMA tracks.
 
+On top of those sits the time-resolved layer (opt-in via
+:meth:`Telemetry.attach_observability`):
+
+* :mod:`repro.telemetry.timeseries` — a simulated-clock
+  :class:`MetricScraper` snapshotting every family into ring-buffered
+  ``metric(t)`` series;
+* :mod:`repro.telemetry.slo` — declarative per-tenant objectives with
+  rolling attainment and multi-window burn-rate alerts;
+* :mod:`repro.telemetry.recorder` — a :class:`FlightRecorder` ring of
+  recent history that freezes into post-mortem JSON bundles on faults
+  and alerts;
+* :mod:`repro.telemetry.dashboard` — a self-contained HTML dashboard
+  (inline SVG, no external JS or network dependencies).
+
 Enable per rig with ``build_consumer_rig(..., telemetry=True)`` or run
 ``aqua-repro observe``.  Disabled telemetry costs one ``None`` check
 per hook and changes nothing else.
 """
 
 from repro.telemetry.attribution import COMPONENTS, LatencyAttributor
-from repro.telemetry.hub import Telemetry, active_capture_tracer, capture_trace
+from repro.telemetry.dashboard import render_dashboard
+from repro.telemetry.hub import (
+    Telemetry,
+    active_capture_tracer,
+    active_observability,
+    capture_observability,
+    capture_trace,
+)
+from repro.telemetry.recorder import FlightRecorder
 from repro.telemetry.registry import (
     Counter,
     Gauge,
@@ -27,16 +49,42 @@ from repro.telemetry.registry import (
     Registry,
     parse_prometheus_text,
 )
+from repro.telemetry.slo import (
+    BurnRateWindow,
+    SLObjective,
+    SLOPolicy,
+    SLOTracker,
+    default_slo_policy,
+)
+from repro.telemetry.timeseries import (
+    MetricScraper,
+    RingSeries,
+    interval_mean_series,
+    rate_series,
+)
 
 __all__ = [
     "COMPONENTS",
+    "BurnRateWindow",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LatencyAttributor",
+    "MetricScraper",
     "Registry",
+    "RingSeries",
+    "SLObjective",
+    "SLOPolicy",
+    "SLOTracker",
     "Telemetry",
     "active_capture_tracer",
+    "active_observability",
+    "capture_observability",
     "capture_trace",
+    "default_slo_policy",
+    "interval_mean_series",
     "parse_prometheus_text",
+    "rate_series",
+    "render_dashboard",
 ]

@@ -46,6 +46,12 @@ _LATENCY_BUCKETS = (
     10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
 )
 
+#: Buckets for TPOT (time per output token) — steady-state decode pace
+#: is tens of milliseconds to a few seconds per token.
+_TPOT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.15, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
 
 class Telemetry:
     """Per-run telemetry context shared by every instrumented subsystem.
@@ -65,6 +71,10 @@ class Telemetry:
         self.registry = Registry()
         self.attribution = LatencyAttributor()
         self._flow_started: set[int] = set()
+        # Optional observability layer (see attach_observability).
+        self.scraper = None
+        self.slo = None
+        self.recorder = None
 
         r = self.registry
         # -- engine family ------------------------------------------------
@@ -92,6 +102,11 @@ class Telemetry:
         self.rct_seconds = r.histogram(
             "aqua_engine_rct_seconds",
             "Request completion time.", ["engine"], buckets=_LATENCY_BUCKETS)
+        self.tpot_seconds = r.histogram(
+            "aqua_engine_tpot_seconds",
+            "Time per output token after the first (steady-state decode "
+            "pace), marked at request completion.",
+            ["engine"], buckets=_TPOT_BUCKETS)
         # -- memory-pool family -------------------------------------------
         self.pool_used = r.gauge(
             "aqua_pool_used_bytes", "Bytes reserved in a memory pool.",
@@ -168,6 +183,69 @@ class Telemetry:
             self.pool_reservations.labels(device=name).set_function(
                 lambda p=pool: len(p.reservations))
 
+    def attach_observability(
+        self,
+        scrape_interval: float = 1.0,
+        slo_policy=None,
+        postmortem_dir: Optional[str] = None,
+        capacity: int = 4096,
+        recorder_capacity: int = 512,
+        start: bool = True,
+    ) -> "Telemetry":
+        """Enable the time-resolved layer: scraper + SLO tracker + recorder.
+
+        Spawns a :class:`~repro.telemetry.timeseries.MetricScraper` at
+        ``scrape_interval`` simulated seconds, a
+        :class:`~repro.telemetry.recorder.FlightRecorder` (dumping
+        post-mortem bundles under ``postmortem_dir`` when given) and —
+        when ``slo_policy`` is provided — an
+        :class:`~repro.telemetry.slo.SLOTracker` whose burn-rate alerts
+        trigger recorder captures.  Everything attached here is
+        observation-only: audit digests are identical with this layer
+        on or off (``tests/test_determinism_golden.py``).
+
+        Idempotent per hub: calling again returns the existing layer.
+        """
+        if self.scraper is not None:
+            return self
+        from repro.telemetry.recorder import FlightRecorder
+        from repro.telemetry.timeseries import MetricScraper
+
+        self.scraper = MetricScraper(
+            self.env, self.registry, interval=scrape_interval, capacity=capacity
+        )
+        self.recorder = FlightRecorder(
+            self.env, telemetry=self,
+            capacity=recorder_capacity, dump_dir=postmortem_dir,
+        )
+        if slo_policy is not None:
+            from repro.telemetry.slo import SLOTracker
+
+            self.slo = SLOTracker(
+                self.env, slo_policy, telemetry=self, capacity=capacity
+            )
+            self.slo.on_alert.append(self.recorder.on_alert)
+            # SLO evaluation runs before the recorder's delta pass so a
+            # tick's alert and its metric movement land in ring order.
+            self.scraper.observers.append(self.slo.on_scrape)
+        self.scraper.observers.append(self.recorder.on_scrape)
+        if start:
+            self.scraper.start()
+        return self
+
+    def observability_report(self) -> dict:
+        """Pickle/JSON-safe export of the attached observability layer
+        (empty dict when :meth:`attach_observability` was never called)."""
+        if self.scraper is None:
+            return {}
+        report = {
+            "scrape": self.scraper.to_dict(),
+            "recorder": self.recorder.to_dict(),
+        }
+        if self.slo is not None:
+            report["slo"] = self.slo.report()
+        return report
+
     # ------------------------------------------------------------------
     # Flow events (request-scoped causal tracing)
     # ------------------------------------------------------------------
@@ -214,8 +292,18 @@ class Telemetry:
             self.requests_completed.labels(engine=engine).inc()
             if request.ttft is not None:
                 self.ttft_seconds.labels(engine=engine).observe(request.ttft)
+                # TPOT from first/last token timestamps only, so it is
+                # exact even under decode coarsening (which fuses the
+                # per-token steps in between).
+                if request.generated_tokens > 1:
+                    tpot = (request.rct - request.ttft) / (
+                        request.generated_tokens - 1
+                    )
+                    self.tpot_seconds.labels(engine=engine).observe(tpot)
             self.rct_seconds.labels(engine=engine).observe(request.rct)
             self.flow_end(request.req_id, engine, time=request.finish_time)
+            if self.slo is not None:
+                self.slo.observe_request(engine, request)
 
     def request_requeued(self, engine: str) -> None:
         self.requeues.labels(engine=engine).inc()
@@ -249,8 +337,10 @@ class Telemetry:
     # ------------------------------------------------------------------
     # Fault hook
     # ------------------------------------------------------------------
-    def record_fault(self, kind: str, phase: str) -> None:
+    def record_fault(self, kind: str, phase: str, targets=None) -> None:
         self.faults.labels(kind=kind, phase=phase).inc()
+        if self.recorder is not None:
+            self.recorder.on_fault(kind, phase, targets)
 
     # ------------------------------------------------------------------
     # Reports
@@ -299,3 +389,49 @@ def capture_trace(path: Optional[str] = None,
         _CAPTURE.pop()
         if path is not None:
             tracer.export_json(path)
+
+
+# ---------------------------------------------------------------------------
+# Ambient observability capture (the CLI's uniform --scrape-interval support)
+# ---------------------------------------------------------------------------
+#: Stack of observability specs installed by :func:`capture_observability`.
+#: Mirrors :func:`capture_trace`: experiment builders that construct
+#: telemetry internally consult :func:`active_observability` and call
+#: :meth:`Telemetry.attach_observability` with the spec, so
+#: ``aqua-repro figN --scrape-interval 0.5`` needs no per-experiment
+#: plumbing.  Like ambient tracing, the spec does not cross process
+#: boundaries — pooled workers (``--jobs``) run without it.
+_OBSERVABILITY: list[dict] = []
+
+
+def active_observability() -> Optional[dict]:
+    """The innermost :func:`capture_observability` spec, if any."""
+    return _OBSERVABILITY[-1] if _OBSERVABILITY else None
+
+
+@contextmanager
+def capture_observability(
+    scrape_interval: float = 1.0,
+    slo_policy=None,
+    postmortem_dir: Optional[str] = None,
+) -> Iterator[dict]:
+    """Install an ambient observability spec.
+
+    Every telemetered rig built by
+    :func:`repro.experiments.harness.build_consumer_rig` while the
+    context is active gets the time-resolved layer attached with these
+    settings.  The yielded dict grows a ``"hubs"`` list of the
+    :class:`Telemetry` objects that adopted the spec, so the caller can
+    harvest scrape stores and SLO reports after the run.
+    """
+    spec = {
+        "scrape_interval": scrape_interval,
+        "slo_policy": slo_policy,
+        "postmortem_dir": postmortem_dir,
+        "hubs": [],
+    }
+    _OBSERVABILITY.append(spec)
+    try:
+        yield spec
+    finally:
+        _OBSERVABILITY.pop()

@@ -43,6 +43,24 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    # Per the exposition format, HELP text escapes backslash and
+    # newline only (quotes stay literal).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+_UNESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _unescape_label_value(value: str) -> str:
+    # Single left-to-right pass: sequential str.replace would corrupt a
+    # literal backslash followed by 'n' (escaped "\\n") into a newline.
+    return _UNESCAPE_RE.sub(
+        lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(1)), value
+    )
+
+
 def _format_value(value: float) -> str:
     if value == float("inf"):
         return "+Inf"
@@ -283,7 +301,7 @@ class Registry:
         """The registry in Prometheus text exposition format."""
         lines = []
         for family in self._families.values():
-            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             for sample_name, labels, value in family.samples():
                 if labels:
@@ -348,12 +366,7 @@ def parse_prometheus_text(text: str) -> dict[str, list[tuple[dict, float]]]:
         if raw:
             consumed = 0
             for pair in _LABEL_PAIR_RE.finditer(raw):
-                labels[pair.group(1)] = (
-                    pair.group(2)
-                    .replace("\\n", "\n")
-                    .replace('\\"', '"')
-                    .replace("\\\\", "\\")
-                )
+                labels[pair.group(1)] = _unescape_label_value(pair.group(2))
                 consumed = pair.end()
             leftover = raw[consumed:].strip().strip(",")
             if leftover:

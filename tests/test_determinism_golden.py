@@ -18,10 +18,13 @@ loops, TimeSeries appends and the roofline math.
 
 import json
 
+import pytest
+
 from repro.experiments.harness import build_consumer_rig
 from repro.experiments.runall import run_all
 from repro.experiments.sweep import sweep_request_rate
 from repro.models import LLAMA2_13B, OPT_30B
+from repro.telemetry.slo import default_slo_policy
 from repro.workloads.arrivals import submit_all
 from repro.workloads.longprompt import long_prompt_requests
 from repro.workloads.sharegpt import sharegpt_requests
@@ -39,8 +42,18 @@ GOLDEN_DIGEST = "aea264f10e1ea0ab8fd45cebe675e0da3e5be2fa7d67274d8adc7f4d47530b9
 DURATION = 30.0
 
 
-def _run_scenario(telemetry: bool, scheduler: str = "heap"):
-    """One seeded audited run; returns (digest, final-metrics dict)."""
+def _run_scenario(
+    telemetry: bool,
+    scheduler: str = "heap",
+    decode_coarsen: int = 1,
+    observability: bool = False,
+):
+    """One seeded audited run; returns (digest, final-metrics dict, rig).
+
+    ``observability=True`` additionally attaches the full time-resolved
+    layer (metric scraper + SLO tracker + flight recorder, PR 8) so the
+    digest tests can prove it is observation-only.
+    """
     rig = build_consumer_rig(
         "flexgen",
         OPT_30B,
@@ -49,6 +62,9 @@ def _run_scenario(telemetry: bool, scheduler: str = "heap"):
         audit=True,
         telemetry=telemetry,
         scheduler=scheduler,
+        decode_coarsen=decode_coarsen,
+        scrape_interval=0.5 if observability else None,
+        slo_policy=default_slo_policy() if observability else None,
     )
     rig.start()
     submit_all(rig.env, rig.consumer_engine, long_prompt_requests(start=2.0))
@@ -73,12 +89,12 @@ def _run_scenario(telemetry: bool, scheduler: str = "heap"):
         "now": repr(rig.env.now),
         "producer_tokens": rig.producer_engine.metrics.tokens_generated,
     }
-    return report.digest, final
+    return report.digest, final, rig
 
 
 def test_digest_matches_pre_optimisation_golden():
     """Telemetry off: the audit digest equals the committed golden."""
-    digest, final = _run_scenario(telemetry=False)
+    digest, final, _ = _run_scenario(telemetry=False)
     assert final["tokens"] > 0 and final["transfers_observed"] > 0
     assert digest == GOLDEN_DIGEST, (
         f"kernel behaviour diverged from the pre-optimisation golden\n"
@@ -88,7 +104,7 @@ def test_digest_matches_pre_optimisation_golden():
 
 def test_digest_with_telemetry_matches_golden():
     """Telemetry on is observation-only: identical digest to the golden."""
-    digest, _ = _run_scenario(telemetry=True)
+    digest, _, _ = _run_scenario(telemetry=True)
     assert digest == GOLDEN_DIGEST
 
 
@@ -98,7 +114,7 @@ def test_digest_identical_under_calendar_scheduler():
     to the heap backend's, which is itself pinned to the golden.  This
     is the end-to-end companion of the per-entry ordering properties in
     ``tests/test_sim_ordering.py``."""
-    digest, final = _run_scenario(telemetry=False, scheduler="calendar")
+    digest, final, _ = _run_scenario(telemetry=False, scheduler="calendar")
     assert final["tokens"] > 0 and final["transfers_observed"] > 0
     assert digest == GOLDEN_DIGEST, (
         f"calendar scheduler diverged from the heap backend's event stream\n"
@@ -108,24 +124,56 @@ def test_digest_identical_under_calendar_scheduler():
 
 def test_both_schedulers_agree_on_final_metrics():
     """Same digest is necessary; same observable outcome closes the loop."""
-    _, final_heap = _run_scenario(telemetry=False, scheduler="heap")
-    _, final_cal = _run_scenario(telemetry=False, scheduler="calendar")
+    _, final_heap, _ = _run_scenario(telemetry=False, scheduler="heap")
+    _, final_cal, _ = _run_scenario(telemetry=False, scheduler="calendar")
     assert final_heap == final_cal
 
 
 def test_identical_runs_bit_identical():
     """Two same-seed runs agree on digest *and* every final metric."""
-    digest_a, final_a = _run_scenario(telemetry=False)
-    digest_b, final_b = _run_scenario(telemetry=False)
+    digest_a, final_a, _ = _run_scenario(telemetry=False)
+    digest_b, final_b, _ = _run_scenario(telemetry=False)
     assert digest_a == digest_b
     assert final_a == final_b
 
 
 def test_telemetry_does_not_change_final_metrics():
-    digest_off, final_off = _run_scenario(telemetry=False)
-    digest_on, final_on = _run_scenario(telemetry=True)
+    digest_off, final_off, _ = _run_scenario(telemetry=False)
+    digest_on, final_on, _ = _run_scenario(telemetry=True)
     assert digest_off == digest_on
     assert final_off == final_on
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+@pytest.mark.parametrize("decode_coarsen", [1, 4])
+def test_observability_layer_is_observation_only(scheduler, decode_coarsen):
+    """The full time-resolved layer (PR 8) — 0.5 s metric scraper, SLO
+    tracker with the default two-tenant policy, flight recorder — leaves
+    the audited event stream bit-identical, under both schedule backends
+    and with decode coarsening on.  The scraper runs on the simulation
+    clock but only *reads* state at each tick, so the only thing it may
+    change is event ids — which the audit digest deliberately excludes.
+    """
+    digest_off, final_off, _ = _run_scenario(
+        False, scheduler=scheduler, decode_coarsen=decode_coarsen
+    )
+    digest_on, final_on, rig = _run_scenario(
+        True, scheduler=scheduler, decode_coarsen=decode_coarsen, observability=True
+    )
+    # Non-vacuous: the layer really was attached and really scraped.
+    assert rig.telemetry is not None and rig.telemetry.scraper is not None
+    assert rig.telemetry.scraper.scrapes >= DURATION / 0.5 - 1
+    assert rig.telemetry.slo is not None and rig.telemetry.recorder is not None
+    assert digest_on == digest_off, (
+        f"observability layer perturbed the event stream "
+        f"(scheduler={scheduler}, decode_coarsen={decode_coarsen})\n"
+        f"  on  {digest_on}\n  off {digest_off}"
+    )
+    assert final_on == final_off
+    if decode_coarsen == 1:
+        # Coarsening intentionally time-warps decode, so only the exact
+        # per-token configuration is pinned to the committed golden.
+        assert digest_off == GOLDEN_DIGEST
 
 
 # ---------------------------------------------------------------------------

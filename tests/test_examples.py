@@ -83,3 +83,12 @@ def test_fault_tolerant_serving(capsys):
     assert "gpu-failure" in out
     assert "requests dropped" in out
     assert "Every fault is survived" in out
+
+
+@pytest.mark.slow
+def test_slo_monitoring(capsys):
+    out = run_example("slo_monitoring.py", capsys)
+    assert "flexgen-goodput" in out
+    assert "ticket" in out  # the sustained-burn alert fires
+    assert "postmortem-000.json" in out
+    assert "control run alerts: 0" in out

@@ -210,3 +210,34 @@ def test_request_validation():
         Request(arrival_time=0, prompt_tokens=0, max_new_tokens=1)
     with pytest.raises(ValueError):
         Request(arrival_time=0, prompt_tokens=1, max_new_tokens=0)
+
+
+def test_timeseries_non_monotonic_error_names_offending_times():
+    """The guard's message must name the series and both timestamps —
+    a scraper driven by the simulation clock can only trip this through
+    a real bug, and the message is the debugging entry point."""
+    ts = TimeSeries("goodput")
+    ts.append(3.0, 1.0)
+    with pytest.raises(ValueError, match=r"'goodput'.*t=2\.5 precedes last sample t=3\.0"):
+        ts.append(2.5, 2.0)
+    # The rejected sample was not retained.
+    assert len(ts) == 1
+
+
+def test_timeseries_equal_timestamps_are_legal():
+    ts = TimeSeries("x")
+    ts.append(1.0, 1.0)
+    ts.append(1.0, 2.0)  # ordering contract is >=, not >
+    assert len(ts) == 2
+
+
+def test_collector_sample_inherits_monotonic_guard():
+    """MetricsCollector.sample delegates to TimeSeries.append, so the
+    same non-monotonic protection applies per named series."""
+    mc = MetricsCollector("eng")
+    mc.sample("queue_depth", 1.0, 4.0)
+    mc.sample("queue_depth", 2.0, 5.0)
+    mc.sample("batch_size", 0.5, 1.0)  # independent series, own clock
+    with pytest.raises(ValueError, match="queue_depth"):
+        mc.sample("queue_depth", 1.5, 6.0)
+    assert mc.series["queue_depth"].last() == 5.0

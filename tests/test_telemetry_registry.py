@@ -166,3 +166,43 @@ def test_nan_and_inf_formatting():
     g.set(float("inf"))
     samples = parse_prometheus_text(r.to_prometheus_text())
     assert samples["weird"][0][1] == float("inf")
+
+
+def test_help_text_escaping():
+    """HELP lines escape backslash and newline (and nothing else — in
+    the exposition format quotes stay literal in HELP text)."""
+    r = Registry()
+    r.counter("weird_total", 'multi\nline "quoted" back\\slash help')
+    text = r.to_prometheus_text()
+    assert (
+        '# HELP weird_total multi\\nline "quoted" back\\\\slash help' in text
+    )
+    # Escaping keeps the comment on one physical line.
+    help_lines = [l for l in text.splitlines() if l.startswith("# HELP weird_total")]
+    assert len(help_lines) == 1
+    parse_prometheus_text(text)  # and the document still parses
+
+
+def test_help_and_type_lines_precede_samples():
+    r = Registry()
+    r.gauge("depth", "Queue depth.").set(1)
+    lines = r.to_prometheus_text().splitlines()
+    i_help = lines.index("# HELP depth Queue depth.")
+    i_type = lines.index("# TYPE depth gauge")
+    i_sample = lines.index("depth 1.0")
+    assert i_help < i_type < i_sample
+
+
+def test_label_unescape_is_single_pass():
+    """Regression: a literal backslash followed by a literal ``n`` must
+    not collapse into a newline on parse.  Sequential str.replace
+    unescaping (``\\n`` first, then ``\\\\``) corrupts exactly this
+    value; the parser must unescape in one pass."""
+    r = Registry()
+    tricky = "\\n"  # two characters: backslash, n — NOT a newline
+    r.counter("esc2_total", "", ["path"]).labels(path=tricky).inc()
+    text = r.to_prometheus_text()
+    assert 'path="\\\\n"' in text  # escaped backslash, literal n
+    (labels, _) = parse_prometheus_text(text)["esc2_total"][0]
+    assert labels == {"path": tricky}
+    assert "\n" not in labels["path"]
