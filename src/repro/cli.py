@@ -527,6 +527,50 @@ def cmd_sweep(args) -> None:
     )
 
 
+def cmd_frontier(args) -> int:
+    """Cluster serving frontier: offered load vs goodput/SLO/shed."""
+    from repro.experiments.frontier import frontier_rows, frontier_sweep
+
+    sweep = frontier_sweep(
+        rates=tuple(args.rates),
+        policies=tuple(args.policies),
+        duration=args.duration,
+        workload=args.workload,
+        n_servers=args.servers,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=print,
+    )
+    for policy, rows in frontier_rows(sweep).items():
+        print(
+            report.format_table(
+                ["rate", "offered", "goodput/s", "attainment", "shed_rate", "q_full"],
+                rows,
+                title=(
+                    f"Frontier: {policy} over {args.servers} servers "
+                    f"({args.workload} workload, {args.duration:.0f}s)"
+                ),
+            )
+        )
+        print()
+    bad = [
+        cell
+        for cells in sweep["grid"].values()
+        for cell in cells
+        if not cell["ledger_ok"]
+    ]
+    if bad:
+        for cell in bad:
+            print(f"LEDGER VIOLATIONS in {cell['policy']}@{cell['rate']:g}:")
+            for violation in cell["violations"]:
+                print(f"  {violation}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(sweep, fh, indent=1)
+        print(f"frontier sweep written to {args.out}")
+    return 1 if bad else 0
+
+
 COMMANDS: dict[str, Callable] = {
     "fig01": cmd_fig01,
     "fig02": cmd_fig02,
@@ -547,6 +591,7 @@ COMMANDS: dict[str, Callable] = {
     "e2e": cmd_e2e,
     "all": cmd_all,
     "sweep": cmd_sweep,
+    "frontier": cmd_frontier,
     "bench": cmd_bench,
     "replicate": cmd_replicate,
 }
@@ -825,6 +870,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--rates", type=float, nargs="+", default=[1.0, 2.0, 4.0, 6.0])
     p.add_argument("--count", type=int, default=40)
+    _add_jobs_argument(p)
+
+    p = sub.add_parser(
+        "frontier",
+        help="cluster serving frontier: goodput/SLO/shed vs offered load "
+        "per routing policy (see docs/frontier.md)",
+    )
+    p.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[8.0, 24.0, 48.0, 96.0],
+        help="offered loads in req/s (default: %(default)s)",
+    )
+    p.add_argument(
+        "--policies",
+        nargs="+",
+        default=["round-robin", "least-loaded", "session-affinity", "slo-aware"],
+        choices=["round-robin", "least-loaded", "session-affinity", "slo-aware"],
+        help="routing policies to sweep (default: all four)",
+    )
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument(
+        "--servers", type=int, default=4, help="cluster size (default: %(default)s)"
+    )
+    p.add_argument(
+        "--workload",
+        choices=["steady", "diurnal", "flash", "regions"],
+        default="diurnal",
+        help="arrival-rate shape / tenant mix (default: %(default)s)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="frontier.json",
+        help="also write the full sweep as JSON",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".aqua-cache",
+        metavar="DIR",
+        help="content-addressed run cache location (default: %(default)s)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every frontier cell, bypassing the run cache",
+    )
     _add_jobs_argument(p)
 
     p = sub.add_parser(

@@ -416,6 +416,110 @@ def check_tables_inventory(results, tol) -> CheckResult:
 
 
 # ---------------------------------------------------------------------------
+# Cluster serving frontier (docs/frontier.md) — routing + overload control
+# on top of hardware.cluster; an extension beyond the paper's single
+# scale-up domain (ROADMAP item 1), held to the same claim discipline.
+# ---------------------------------------------------------------------------
+def _frontier_cells(results):
+    grid = metric(results["frontier"], "grid")
+    if not grid:
+        raise MissingMetric("frontier sweep produced an empty grid")
+    return grid
+
+
+def check_frontier_conservation(results, tol) -> CheckResult:
+    subchecks = []
+    for policy, cells in _frontier_cells(results).items():
+        for cell in cells:
+            label = f"{policy}@{metric(cell, 'rate'):g}"
+            drift = float(
+                metric(cell, "offered")
+                - metric(cell, "routed")
+                - metric(cell, "shed_total")
+            )
+            subchecks.append(
+                check_band(drift, 0.0, 0.0, f"{label} offered - routed - shed")
+            )
+            subchecks.append(
+                check_band(
+                    float(bool(metric(cell, "ledger_ok"))),
+                    1.0,
+                    1.0,
+                    f"{label} ledger verdict",
+                )
+            )
+    return check_all(subchecks)
+
+
+def check_frontier_low_load(results, tol) -> CheckResult:
+    subchecks = []
+    for policy, cells in _frontier_cells(results).items():
+        cell = cells[0]  # lowest offered load in the grid
+        rate = metric(cell, "rate")
+        subchecks.append(
+            check_band(
+                metric(cell, "attainment"),
+                tol["min_low_load_attainment"],
+                None,
+                f"{policy} attainment at {rate:g} req/s",
+            )
+        )
+        subchecks.append(
+            check_band(
+                metric(cell, "shed_rate"),
+                None,
+                tol["max_low_load_shed"],
+                f"{policy} shed rate at {rate:g} req/s",
+            )
+        )
+        subchecks.append(
+            check_band(
+                ratio(metric(cell, "goodput"), rate),
+                tol["goodput_frac_lo"],
+                tol["goodput_frac_hi"],
+                f"{policy} goodput/offered at {rate:g} req/s",
+            )
+        )
+    return check_all(subchecks)
+
+
+def check_frontier_overload(results, tol) -> CheckResult:
+    subchecks = []
+    for policy, cells in _frontier_cells(results).items():
+        shed_rates = [metric(c, "shed_rate") for c in cells]
+        monotone = all(
+            a <= b + 1e-12 for a, b in zip(shed_rates, shed_rates[1:])
+        )
+        subchecks.append(
+            check_band(
+                float(monotone),
+                1.0,
+                1.0,
+                f"{policy} shed rate monotone in offered load {shed_rates}",
+            )
+        )
+        top = cells[-1]
+        subchecks.append(
+            check_band(
+                metric(top, "shed_rate"),
+                tol["min_overload_shed"],
+                None,
+                f"{policy} shed rate at {metric(top, 'rate'):g} req/s",
+            )
+        )
+        best_goodput = max(metric(c, "goodput") for c in cells)
+        subchecks.append(
+            check_band(
+                ratio(metric(top, "goodput"), best_goodput),
+                tol["min_overload_goodput_frac"],
+                None,
+                f"{policy} overload goodput / best goodput",
+            )
+        )
+    return check_all(subchecks)
+
+
+# ---------------------------------------------------------------------------
 # §6.1 — end-to-end cluster placement leaves no consumer unmatched
 # ---------------------------------------------------------------------------
 def check_e2e_placement(results, tol) -> CheckResult:
@@ -644,6 +748,52 @@ CLAIMS = [
         check=check_tables_inventory,
         tolerance={},
         expected="all nine (model, workload, engine) rows present",
+    ),
+    Claim(
+        id="frontier-conservation",
+        figure="docs/frontier.md",
+        claim="The global router never loses a request: every frontier "
+        "cell's books balance (offered == routed + shed) for every "
+        "policy at every offered load, total and per tenant.",
+        experiments=("frontier",),
+        check=check_frontier_conservation,
+        tolerance={},
+        expected="offered - routed - shed == 0 and a clean ledger verdict "
+        "in every cell of the grid",
+    ),
+    Claim(
+        id="frontier-low-load",
+        figure="docs/frontier.md",
+        claim="Below the cluster knee the frontier is ideal: goodput "
+        "tracks offered load, nothing sheds, and TTFT attainment is "
+        "near-perfect for every routing policy.",
+        experiments=("frontier",),
+        check=check_frontier_low_load,
+        tolerance={
+            "min_low_load_attainment": 0.9,
+            "max_low_load_shed": 0.02,
+            "goodput_frac_lo": 0.8,
+            "goodput_frac_hi": 1.2,
+        },
+        expected="at the lowest grid rate: attainment >= 0.9, shed <= 2%, "
+        "goodput within [0.8, 1.2]x offered (measured ~0.95x)",
+    ),
+    Claim(
+        id="frontier-overload-shedding",
+        figure="docs/frontier.md",
+        claim="Past the knee the router degrades gracefully: shed rate "
+        "rises monotonically with offered load, overload sheds "
+        "explicitly rather than silently, and goodput holds near its "
+        "peak instead of collapsing.",
+        experiments=("frontier",),
+        check=check_frontier_overload,
+        tolerance={
+            "min_overload_shed": 0.05,
+            "min_overload_goodput_frac": 0.5,
+        },
+        expected="shed rate non-decreasing in offered load, >= 5% at the "
+        "top rate (measured 19-49%), overload goodput >= 50% of the "
+        "policy's best (measured 68-99%)",
     ),
     Claim(
         id="e2e-placement-coverage",

@@ -135,6 +135,15 @@ def _tables() -> dict:
     }
 
 
+def _frontier() -> dict:
+    # Cluster serving frontier (docs/frontier.md): every routing policy
+    # over the default load grid.  The sweep runs its own cells inline
+    # (jobs=1) because this callable already executes inside the pool.
+    from repro.experiments.frontier import frontier_sweep
+
+    return frontier_sweep(jobs=1)
+
+
 def _e2e() -> dict:
     result = F.e2e_cluster_placement()
     return {
@@ -165,6 +174,7 @@ EXPERIMENTS: dict[str, Callable[[], dict]] = {
     "fig18": _fig18,
     "tables": _tables,
     "e2e": _e2e,
+    "frontier": _frontier,
 }
 
 

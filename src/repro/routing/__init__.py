@@ -1,0 +1,64 @@
+"""Cluster-scale request routing: policies, admission, load shedding.
+
+This package is the control plane the ROADMAP's planet-scale north star
+needs on top of :mod:`repro.hardware.cluster`: a
+:class:`~repro.routing.router.GlobalRouter` places every incoming
+request onto one per-server
+:class:`~repro.routing.frontend.ServerFrontend` using a pluggable
+:class:`~repro.routing.policies.RoutingPolicy`, and an
+:class:`~repro.routing.admission.AdmissionController` sheds what the
+cluster cannot absorb — explicitly, with a reason, under the
+conservation law ``offered == routed + shed`` that the
+:class:`~repro.routing.router.RequestLedger` enforces in the same
+spirit as the byte-accounting audits in :mod:`repro.audit`.
+
+Everything is deterministic by construction (no seeded ``hash()``, no
+wall clock, lowest-index tie-breaks), which is what lets the
+``aqua-repro frontier`` sweep fan cells out through the experiment pool
+and replay them byte-identically from the run cache.  See
+``docs/frontier.md`` for the policy and overload semantics.
+"""
+
+from repro.routing.admission import (
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMIT,
+    SHED_REASONS,
+    AdmissionController,
+    TenantClass,
+    TokenBucket,
+)
+from repro.routing.frontend import ServerFrontend
+from repro.routing.policies import (
+    POLICIES,
+    POLICY_NAMES,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    SessionAffinityPolicy,
+    SLOAwarePolicy,
+    make_policy,
+    stable_home,
+)
+from repro.routing.router import DEFAULT_TENANT, GlobalRouter, RequestLedger
+
+__all__ = [
+    "SHED_QUEUE_FULL",
+    "SHED_RATE_LIMIT",
+    "SHED_REASONS",
+    "AdmissionController",
+    "TenantClass",
+    "TokenBucket",
+    "ServerFrontend",
+    "POLICIES",
+    "POLICY_NAMES",
+    "LeastLoadedPolicy",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "SessionAffinityPolicy",
+    "SLOAwarePolicy",
+    "make_policy",
+    "stable_home",
+    "DEFAULT_TENANT",
+    "GlobalRouter",
+    "RequestLedger",
+]

@@ -1,0 +1,125 @@
+"""Per-server serving frontends the global router dispatches into.
+
+A :class:`ServerFrontend` wraps one :class:`~repro.hardware.server.Server`
+of a :class:`~repro.hardware.cluster.Cluster` and models it as a
+fixed-concurrency LLM serving instance: up to ``concurrency`` requests
+decode simultaneously (the engine's batch slots); the rest wait in a
+FIFO queue.  Service times come from the same
+:class:`~repro.models.llm.LLMSpec` rooflines the figure-level engines
+use — a compute-bound prefill followed by memory-bound decode steps
+whose pace degrades with the number of co-resident sequences — so the
+cluster frontier inherits the paper's single-GPU cost model without
+paying for per-token event simulation.  (Decode is coarsened into one
+aggregate timeout per request, the same time-warp move the engine-level
+``decode_coarsen`` knob makes; the frontier sweeps need it to make
+millions-of-users offered loads tractable.)
+
+Frontends never shed: admission is the router's job
+(:mod:`repro.routing.admission`), so every request that reaches
+:meth:`enqueue` is eventually served.  That split is what makes the
+conservation law ``offered == routed + shed`` checkable at one place.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.models.llm import LLMSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.server import Server
+    from repro.serving.request import Request
+    from repro.sim import Environment
+
+
+class ServerFrontend:
+    """One server's admission queue plus fixed decode slots.
+
+    Attributes
+    ----------
+    queue:
+        Requests waiting for a decode slot (FIFO).
+    active:
+        Requests currently holding a slot.
+    completed:
+        Finished requests, completion order.
+    tokens:
+        Total tokens generated (prompt ingestion excluded).
+    on_complete:
+        Callbacks ``(frontend, request)`` fired at each completion —
+        the router hooks these to feed its ledger and SLO tracker.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        server: "Server",
+        spec: LLMSpec,
+        concurrency: int = 8,
+        name: Optional[str] = None,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.env = env
+        self.server = server
+        self.spec = spec
+        #: Timing GPU: the server's first GPU (frontends model the whole
+        #: server as one tensor-parallel serving instance).
+        self.gpu_spec = server.gpus[0].spec
+        self.concurrency = concurrency
+        self.name = name or server.name
+        self.queue: deque = deque()
+        self.active = 0
+        self.completed: list = []
+        self.tokens = 0
+        self.on_complete: list[Callable] = []
+
+    @property
+    def depth(self) -> int:
+        """Backlog the router's queue-depth shedding compares against."""
+        return len(self.queue) + self.active
+
+    def enqueue(self, request: "Request") -> None:
+        """Accept a routed request; serve it as soon as a slot frees."""
+        self.queue.append(request)
+        if self.active < self.concurrency:
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        request = self.queue.popleft()
+        self.active += 1
+        self.env.process(self._serve(request))
+
+    def _serve(self, request: "Request"):
+        spec, gpu = self.spec, self.gpu_spec
+        yield self.env.timeout(spec.prefill_time(gpu, request.prompt_tokens))
+        request.first_token_time = self.env.now
+        request.generated_tokens = 1
+        steps = request.max_new_tokens - 1
+        if steps > 0:
+            # Decode pace at the *current* co-residency: more live
+            # sequences stream more KV per step, so a loaded server
+            # decodes slower — the graceful-degradation half of the
+            # overload story (shedding is the other half).
+            batch = self.active
+            context = request.prompt_tokens + steps // 2
+            step = spec.decode_step_time(gpu, batch, batch * context)
+            yield self.env.timeout(steps * step)
+        request.generated_tokens = request.max_new_tokens
+        request.finish_time = self.env.now
+        if request.on_finish is not None and not request.on_finish.triggered:
+            request.on_finish.succeed(request)
+        self.active -= 1
+        self.tokens += request.max_new_tokens
+        self.completed.append(request)
+        for callback in self.on_complete:
+            callback(self, request)
+        if self.queue and self.active < self.concurrency:
+            self._dispatch()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServerFrontend {self.name} depth={self.depth} "
+            f"active={self.active}/{self.concurrency} done={len(self.completed)}>"
+        )

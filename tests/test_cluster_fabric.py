@@ -75,3 +75,82 @@ def test_fabric_transfer_executes():
     env.process(move(env))
     env.run()
     assert env.now > 0
+
+
+# ---------------------------------------------------------------------------
+# Direct coverage for the cluster container itself: _wire_fabric route
+# construction, server_of error paths, and iteration-order determinism
+# (the routing layer's frontend indices depend on the latter).
+# ---------------------------------------------------------------------------
+def test_wire_fabric_route_hops_are_pcie_then_egress_then_ingress():
+    env = Environment()
+    cluster = Cluster(env, n_servers=2, gpus_per_server=2, rdma_link=RDMA_200G)
+    src_server, dst_server = cluster.servers[1], cluster.servers[0]
+    src, dst = src_server.gpus[1], dst_server.gpus[0]
+    route = src_server.interconnect.route(src, dst)
+    assert [ch.name for ch in route.channels] == [
+        "server1:pcie-up:gpu1",
+        "server1:rdma-egress",
+        "server0:rdma-ingress",
+    ]
+
+
+def test_wire_fabric_shares_channel_objects_across_interconnects():
+    """Both endpoints' interconnects must hold the *same* NIC channel
+    objects — identity, not equal copies — or contention would not be
+    global (the queue on one copy would be invisible to the other)."""
+    env = Environment()
+    cluster = Cluster(env, n_servers=3, rdma_link=RDMA_200G)
+    a, b, c = cluster.servers
+    for name in (f"{a.name}:rdma-egress", f"{a.name}:rdma-ingress"):
+        assert b.interconnect.channels[name] is a.interconnect.channels[name]
+        assert c.interconnect.channels[name] is a.interconnect.channels[name]
+
+
+def test_wire_fabric_adds_one_nic_pair_per_server():
+    env = Environment()
+    cluster = Cluster(env, n_servers=3, rdma_link=RDMA_200G)
+    for server in cluster:
+        rdma = [
+            name
+            for name in server.interconnect.channels
+            if name.startswith(f"{server.name}:rdma-")
+        ]
+        assert sorted(rdma) == [
+            f"{server.name}:rdma-egress",
+            f"{server.name}:rdma-ingress",
+        ]
+
+
+def test_server_of_finds_the_hosting_server():
+    env = Environment()
+    cluster = Cluster(env, n_servers=3, gpus_per_server=2)
+    for server in cluster.servers:
+        for gpu in server.gpus:
+            assert cluster.server_of(gpu) is server
+
+
+def test_server_of_rejects_foreign_gpu():
+    env = Environment()
+    cluster = Cluster(env, n_servers=2)
+    other = Cluster(env, n_servers=1)
+    with pytest.raises(LookupError):
+        cluster.server_of(other.servers[0].gpus[0])
+
+
+def test_cluster_rejects_zero_servers():
+    with pytest.raises(ValueError):
+        Cluster(Environment(), n_servers=0)
+
+
+def test_cluster_iteration_order_is_deterministic_and_server_major():
+    env = Environment()
+    cluster = Cluster(env, n_servers=4, gpus_per_server=2)
+    assert len(cluster) == 4
+    names = [server.name for server in cluster]
+    assert names == ["server0", "server1", "server2", "server3"]
+    assert names == [server.name for server in cluster]  # stable on re-iteration
+    # cluster.gpus is server-major: all of server0's GPUs, then server1's...
+    expected = [gpu for server in cluster.servers for gpu in server.gpus]
+    assert cluster.gpus == expected
+    assert cluster.n_gpus == 8

@@ -247,3 +247,96 @@ def test_sweep_parallel_matches_serial():
         [(p.rate, p.summaries) for p in pts], sort_keys=True, default=str
     )
     assert as_json(serial) == as_json(parallel)
+
+
+# ---------------------------------------------------------------------------
+# Routing-layer inertness and frontier fan-out determinism (PR 9)
+#
+# Two lockdowns for the cluster routing layer.  First: merely importing
+# ``repro.routing`` — and even *running* a frontier cell in-process,
+# which exercises its global request-id and caching machinery — must
+# leave the single-server figure rigs byte-identical to the committed
+# golden, across both schedule backends and with decode coarsening on.
+# Second: the frontier sweep itself is a pooled fan-out, so serial,
+# ``--jobs 2`` and warm-cache replays must agree byte for byte.
+# ---------------------------------------------------------------------------
+def test_routing_layer_is_inert_for_single_server_rigs():
+    import repro.routing  # noqa: F401 - the import is the point
+    from repro.experiments.frontier import frontier_cell
+
+    # Run a real routed cell first: it consumes request ids, seeds RNGs
+    # and populates policy state.  None of that may leak into the
+    # single-server scenario digest.
+    cell = frontier_cell(
+        rate=12.0, duration=4.0, n_servers=2, concurrency=4, drain=4.0
+    )
+    assert cell["completed"] > 0
+
+    for scheduler in ("heap", "calendar"):
+        for decode_coarsen in (1, 4):
+            digest, final, _ = _run_scenario(
+                telemetry=False,
+                scheduler=scheduler,
+                decode_coarsen=decode_coarsen,
+            )
+            assert final["tokens"] > 0
+            if decode_coarsen == 1:
+                assert digest == GOLDEN_DIGEST, (
+                    f"routing layer perturbed the single-server event "
+                    f"stream (scheduler={scheduler})\n"
+                    f"  got      {digest}\n  expected {GOLDEN_DIGEST}"
+                )
+
+
+#: Small frontier grid for the fan-out tests: two policies, two rates,
+#: short cells — a few seconds total, but the full pooled code path.
+_FRONTIER_KWARGS = dict(
+    rates=(8.0, 32.0),
+    policies=("round-robin", "least-loaded"),
+    duration=8.0,
+    n_servers=2,
+    concurrency=4,
+    max_queue_depth=12,
+    drain=8.0,
+)
+
+
+def _sweep_json(sweep: dict) -> str:
+    return json.dumps(sweep, sort_keys=True, default=str)
+
+
+def test_frontier_parallel_matches_serial_byte_for_byte():
+    from repro.experiments.frontier import frontier_sweep
+
+    serial = frontier_sweep(jobs=1, **_FRONTIER_KWARGS)
+    parallel = frontier_sweep(jobs=2, **_FRONTIER_KWARGS)
+    assert _sweep_json(serial) == _sweep_json(parallel)
+    # The ledger digests are the per-cell fingerprints: pin them too.
+    for policy, cells in serial["grid"].items():
+        for cell, twin in zip(cells, parallel["grid"][policy]):
+            assert cell["ledger_digest"] == twin["ledger_digest"]
+            assert cell["ledger_ok"] and twin["ledger_ok"]
+
+
+def test_frontier_cache_replay_matches_cold_run(tmp_path):
+    from repro.experiments.frontier import frontier_sweep
+
+    cache_dir = tmp_path / "cache"
+    n_cells = len(_FRONTIER_KWARGS["rates"]) * len(_FRONTIER_KWARGS["policies"])
+
+    cold_log: list[str] = []
+    cold = frontier_sweep(
+        jobs=1, cache_dir=cache_dir, progress=cold_log.append, **_FRONTIER_KWARGS
+    )
+    # The cold run populated the content-addressed cache on disk.
+    cached_files = sorted(p for p in cache_dir.rglob("*") if p.is_file())
+    assert len(cached_files) >= n_cells
+
+    warm_log: list[str] = []
+    warm = frontier_sweep(
+        jobs=1, cache_dir=cache_dir, progress=warm_log.append, **_FRONTIER_KWARGS
+    )
+    assert _sweep_json(cold) == _sweep_json(warm)
+    # The warm replay touched every cell without recomputing any: no
+    # new cache entries were written.
+    assert sorted(p for p in cache_dir.rglob("*") if p.is_file()) == cached_files

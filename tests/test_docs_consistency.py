@@ -39,6 +39,7 @@ def test_doc_test_pointers_resolve():
     refs = []
     docs = sorted((ROOT / "docs").glob("*.md"))
     assert ROOT / "docs" / "replication.md" in docs
+    assert ROOT / "docs" / "frontier.md" in docs
     for doc in docs + [ROOT / "DESIGN.md", ROOT / "EXPERIMENTS.md"]:
         refs.extend(
             re.findall(r"(test_[a-z0-9_]+\.py)::(test_[a-z0-9_]+)", doc.read_text())
@@ -123,6 +124,14 @@ def test_cli_usages_in_docs_match_the_parser():
             usages.append((doc.name, match.group(1), flags))
 
     assert any(cmd == "replicate" for _, cmd, _ in usages)
+    # docs/frontier.md must actually show the frontier command in use,
+    # and with its load-grid flag, so the guard below exercises it.
+    assert any(
+        doc == "frontier.md" and cmd == "frontier" for doc, cmd, _ in usages
+    ), "docs/frontier.md must demonstrate 'aqua-repro frontier'"
+    assert any(
+        cmd == "frontier" and "--rates" in flags for _, cmd, flags in usages
+    )
     for doc, cmd, flags in usages:
         assert cmd in options, f"{doc}: unknown subcommand 'aqua-repro {cmd}'"
         for flag in flags:
