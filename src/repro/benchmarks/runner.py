@@ -43,8 +43,8 @@ from repro.benchmarks.scenarios import SCENARIOS
 SCHEMA = "aqua-repro-bench/v1"
 
 #: Index of the current BENCH artifact; names the default output
-#: file (``BENCH_6.json``).
-BENCH_INDEX = 6
+#: file (``BENCH_7.json``).
+BENCH_INDEX = 7
 
 #: The kernel throughput recorded immediately before the fast-path PR,
 #: measured by the then-current ``benchmarks/test_simulator_performance.py``
@@ -65,7 +65,12 @@ PRIMARY_METRIC = {
     "kernel": "events_per_s",
     "vllm_e2e": "sim_s_per_wall_s",
     "flexgen_e2e": "sim_s_per_wall_s",
+    "flexgen_e2e_fastpath": "sim_s_per_wall_s",
     "cluster": "sim_s_per_wall_s",
+    "cluster_fastpath": "sim_s_per_wall_s",
+    # Modeled transfers retired per wall second on the DMA hot loop
+    # (BENCH_7); the events-per-transfer reduction rides alongside.
+    "transfer": "transfers_per_s",
     # Cold-vs-warm-cache speedup: nearly hardware-independent, unlike
     # the core-count-bounded parallel ``speedup`` reported alongside.
     "runall_parallel": "warm_speedup",
@@ -87,6 +92,7 @@ def run_bench(
     quick: bool = False,
     jobs: int = 1,
     scheduler: str = "heap",
+    transfer_fastpath: bool = False,
 ) -> dict:
     """Run the named scenarios (default: all) and return the BENCH doc.
 
@@ -97,8 +103,10 @@ def run_bench(
     declares a ``scheduler`` parameter (see ``--scheduler`` on the
     CLI); scenario metrics record which backend produced them, and
     :func:`compare_bench` refuses to gate across mismatched backends.
-    The artifact records ``jobs`` plus aggregate run-cache hit/miss
-    counts.
+    ``transfer_fastpath`` likewise flows to every scenario declaring
+    the parameter (the e2e rigs and the ``transfer`` A/B) — recorded
+    per scenario and never gated across a toggle mismatch.  The
+    artifact records ``jobs`` plus aggregate run-cache hit/miss counts.
     """
     selected = list(names) if names else list(SCENARIOS)
     unknown = [n for n in selected if n not in SCENARIOS]
@@ -112,6 +120,7 @@ def run_bench(
         "quick": quick,
         "jobs": jobs,
         "scheduler": scheduler,
+        "transfer_fastpath": transfer_fastpath,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "baseline": dict(RECORDED_BASELINE),
@@ -125,6 +134,8 @@ def run_bench(
             kwargs["jobs"] = jobs
         if "scheduler" in params:
             kwargs["scheduler"] = scheduler
+        if "transfer_fastpath" in params:
+            kwargs["transfer_fastpath"] = transfer_fastpath
         doc["scenarios"][name] = fn(**kwargs)
     doc["cache"] = {
         "hits": sum(
@@ -216,6 +227,17 @@ def compare_bench(
             lines.append(
                 f"{name}: scheduler {cur_sched!r} vs baseline "
                 f"{base_sched!r} — not like-for-like, not gated"
+            )
+            continue
+        # Same rule for the transfer fast path (absent means the
+        # historical Resource path): the toggle changes the event
+        # economics, so cross-toggle numbers are an A/B, not a gate.
+        cur_fast = bool(metrics.get("transfer_fastpath", False))
+        base_fast = bool(base_metrics.get("transfer_fastpath", False))
+        if cur_fast != base_fast:
+            lines.append(
+                f"{name}: transfer_fastpath {cur_fast} vs baseline "
+                f"{base_fast} — not like-for-like, not gated"
             )
             continue
         cur, base = metrics[primary], base_metrics[primary]

@@ -428,6 +428,7 @@ def cmd_bench(args) -> int:
         quick=args.quick,
         jobs=args.jobs,
         scheduler=args.scheduler,
+        transfer_fastpath=args.transfer_fastpath,
     )
     rows = []
     for name, metrics in doc["scenarios"].items():
@@ -955,6 +956,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "kernel schedule backend: the default binary heap, or the "
             "calendar queue for high event density (docs/performance.md)"
+        ),
+    )
+    p.add_argument(
+        "--transfer-fastpath",
+        action="store_true",
+        help=(
+            "run scenarios with the analytic channel-timeline DMA fast "
+            "path (semantics-identical; see docs/performance.md) — "
+            "recorded per scenario, and the regression gate never "
+            "compares across the toggle"
         ),
     )
     _add_jobs_argument(p, default=1)

@@ -102,6 +102,7 @@ def build_consumer_rig(
     postmortem_dir: Optional[str] = None,
     scheduler: str = "heap",
     decode_coarsen: int = 1,
+    transfer_fastpath: bool = False,
 ) -> ConsumerRig:
     """Build a consumer/producer pair.
 
@@ -155,6 +156,12 @@ def build_consumer_rig(
         engine (and a BatchEngine producer).  Default 1 keeps the exact
         per-token paths; see ``docs/performance.md`` for the fidelity
         trade-offs.
+    transfer_fastpath:
+        Enable the analytic channel-timeline fast path for the rig's
+        DMA transfers (see ``docs/performance.md``).  Applied to the
+        rig's server — including one passed in via ``server`` — and
+        semantics-identical to the default Resource path (audit digests
+        are unchanged either way).
     """
     if consumer_kind not in ("vllm", "cfs", "flexgen"):
         raise ValueError(f"unknown consumer kind {consumer_kind!r}")
@@ -167,7 +174,12 @@ def build_consumer_rig(
         env = Environment(scheduler=scheduler)
     if server is None:
         n_gpus = max(consumer_gpu, producer_gpu) + 1 if producer_model else consumer_gpu + 1
-        server = Server(env, n_gpus=max(2, n_gpus), topology="p2p")
+        server = Server(
+            env, n_gpus=max(2, n_gpus), topology="p2p",
+            transfer_fastpath=transfer_fastpath,
+        )
+    elif transfer_fastpath:
+        server.interconnect.transfer_fastpath = True
     coordinator = coordinator or Coordinator()
     kwargs = dict(consumer_kwargs or {})
     if decode_coarsen != 1:

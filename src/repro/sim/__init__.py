@@ -31,6 +31,7 @@ from repro.sim.events import (
     Interrupt,
     Process,
     SimulationError,
+    SleepUntil,
     Timeout,
 )
 from repro.sim.resources import PriorityResource, Resource, Store
@@ -48,6 +49,7 @@ __all__ = [
     "Resource",
     "SCHEDULER_NAMES",
     "SimulationError",
+    "SleepUntil",
     "Store",
     "Timeout",
 ]

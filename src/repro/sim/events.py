@@ -197,6 +197,38 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay}>"
 
 
+class SleepUntil(Event):
+    """An event that triggers at an *absolute* simulated time.
+
+    ``yield SleepUntil(env, at)`` differs from ``yield env.timeout(at -
+    env.now)`` in exactly one way: the wake-up lands at ``at`` itself,
+    not at ``env.now + (at - env.now)``, which can drift by one ulp when
+    ``at`` was computed analytically.  The DMA transfer fast path
+    (:mod:`repro.hardware.dma`) relies on this to wake at precisely the
+    grant time the channel-timeline cursors predicted, so its completion
+    timestamps are bit-identical to the Resource-FIFO path's.
+    """
+
+    __slots__ = ("at",)
+
+    def __init__(self, env: "Environment", at: float, value: Any = None) -> None:
+        if at < env._now:
+            raise ValueError(f"cannot sleep until {at} in the past (now={env._now})")
+        # Flat initialisation, mirroring Timeout: born triggered,
+        # ``_defused`` deliberately unset (``_ok`` is always True).
+        self.env = env
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._state = TRIGGERED
+        self.at = at
+        env._eid = eid = env._eid + 1
+        env._push(env._queue, (at, _NORMAL_SEQ + eid, self))
+
+    def __repr__(self) -> str:
+        return f"<SleepUntil at={self.at}>"
+
+
 def _timeout_factory(env: "Environment") -> Callable[..., Timeout]:
     """Build the ``env.timeout`` fast path.
 

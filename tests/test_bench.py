@@ -110,6 +110,22 @@ def test_comparator_skips_mismatched_scheduler_without_gating():
     assert any("not like-for-like" in line for line in lines)
 
 
+def test_comparator_skips_mismatched_transfer_fastpath_without_gating():
+    """Same rule for the transfer fast path (PR 10): the toggle changes
+    event economics, so cross-toggle numbers are an A/B, never a gate.
+    An absent field means the historical Resource path (False)."""
+    current, baseline = _doc_with_kernel(50_000.0), _doc_with_kernel(100_000.0)
+    current["scenarios"]["kernel"]["transfer_fastpath"] = True
+    # baseline has no transfer_fastpath key at all -> False.
+    regressions, lines = benchmarks.compare_bench(current, baseline, tolerance=0.10)
+    assert regressions == []
+    assert any("not like-for-like" in line for line in lines)
+    # Matching toggles gate normally.
+    baseline["scenarios"]["kernel"]["transfer_fastpath"] = True
+    regressions, _ = benchmarks.compare_bench(current, baseline, tolerance=0.10)
+    assert len(regressions) == 1
+
+
 def test_comparator_treats_missing_scheduler_field_as_heap():
     """Pre-PR-7 artifacts carry no scheduler field; they gate normally
     against a heap-backend run."""
@@ -173,6 +189,26 @@ def test_cli_bench_scheduler_flag_round_trips(tmp_path):
     assert doc["scheduler"] == "calendar"
     assert doc["scenarios"]["kernel"]["scheduler"] == "calendar"
     assert doc["scenarios"]["kernel"]["events_per_s"] > 0
+
+
+def test_cli_bench_transfer_fastpath_flag_round_trips(tmp_path):
+    out = tmp_path / "BENCH_fast.json"
+    rc = cli_main(
+        ["bench", "transfer", "--quick", "--transfer-fastpath", "--out", str(out)]
+    )
+    assert rc == 0
+    doc = benchmarks.load_bench(str(out))
+    assert doc["transfer_fastpath"] is True
+    metrics = doc["scenarios"]["transfer"]
+    assert metrics["transfer_fastpath"] is True
+    # The A/B scenario ran both modes, proved them identical, and the
+    # fast path retired the same transfers in fewer events.
+    assert metrics["identical"] is True
+    assert metrics["transfers_per_s"] > 0
+    assert metrics["events_on"] < metrics["events_off"]
+    assert metrics["event_reduction"] > 1.0
+    # With the toggle on, the primary metric is the fast-path rate.
+    assert metrics["transfers_per_s"] == metrics["transfers_per_s_on"]
 
 
 def test_cli_bench_list(capsys):

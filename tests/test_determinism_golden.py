@@ -47,12 +47,16 @@ def _run_scenario(
     scheduler: str = "heap",
     decode_coarsen: int = 1,
     observability: bool = False,
+    transfer_fastpath: bool = False,
 ):
     """One seeded audited run; returns (digest, final-metrics dict, rig).
 
     ``observability=True`` additionally attaches the full time-resolved
     layer (metric scraper + SLO tracker + flight recorder, PR 8) so the
     digest tests can prove it is observation-only.
+    ``transfer_fastpath=True`` routes eligible DMA copies through the
+    analytic channel-timeline path (PR 10), which claims bit-identical
+    semantics — the digest tests below hold it to that.
     """
     rig = build_consumer_rig(
         "flexgen",
@@ -65,6 +69,7 @@ def _run_scenario(
         decode_coarsen=decode_coarsen,
         scrape_interval=0.5 if observability else None,
         slo_policy=default_slo_policy() if observability else None,
+        transfer_fastpath=transfer_fastpath,
     )
     rig.start()
     submit_all(rig.env, rig.consumer_engine, long_prompt_requests(start=2.0))
@@ -173,6 +178,42 @@ def test_observability_layer_is_observation_only(scheduler, decode_coarsen):
     if decode_coarsen == 1:
         # Coarsening intentionally time-warps decode, so only the exact
         # per-token configuration is pinned to the committed golden.
+        assert digest_off == GOLDEN_DIGEST
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+@pytest.mark.parametrize("decode_coarsen", [1, 4])
+def test_transfer_fastpath_digest_identical(scheduler, decode_coarsen):
+    """The analytic transfer fast path (PR 10) is semantics-identical:
+    the audited event stream — every transfer's route, size, duration,
+    completion instant and channel list — is byte-identical with the
+    toggle on or off, under both schedule backends and with decode
+    coarsening on.  This is the acceptance gate for the fast path: the
+    conservation digest folds in per-transfer ``env.now`` and per-hop
+    channel names, so a single reordered grant or a one-ulp completion
+    drift fails it."""
+    digest_off, final_off, _ = _run_scenario(
+        False, scheduler=scheduler, decode_coarsen=decode_coarsen
+    )
+    digest_on, final_on, rig = _run_scenario(
+        False,
+        scheduler=scheduler,
+        decode_coarsen=decode_coarsen,
+        transfer_fastpath=True,
+    )
+    # Non-vacuous: the fast path really modelled transfers (only
+    # ``_run_fast`` ever advances a channel's ``busy_until`` cursor).
+    assert rig.server.interconnect.transfer_fastpath
+    assert any(
+        ch.busy_until > 0 for ch in rig.server.interconnect.channels.values()
+    )
+    assert digest_on == digest_off, (
+        f"transfer fast path diverged from the Resource path "
+        f"(scheduler={scheduler}, decode_coarsen={decode_coarsen})\n"
+        f"  on  {digest_on}\n  off {digest_off}\n  final metrics: {final_on}"
+    )
+    assert final_on == final_off
+    if decode_coarsen == 1:
         assert digest_off == GOLDEN_DIGEST
 
 
